@@ -1,0 +1,61 @@
+"""A1 — Ablation: reactive vs proactive overhead heuristics (§III.D).
+
+The paper implements the reactive method and argues the proactive one
+scales better.  This bench runs both at the same 5% delay constraint and
+compares runtime and surviving fingerprint size.  Expected shape: both
+respect the budget; the proactive pass does a linear number of trial
+insertions while the reactive pass pays per removal step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fingerprint import (
+    embed,
+    full_assignment,
+    proactive_delay_constrain,
+    reactive_delay_constrain,
+)
+
+CONSTRAINT = 0.05
+
+
+def test_reactive(benchmark, circuits, catalogs, suite_names):
+    name = suite_names[0]
+    base, catalog = circuits[name], catalogs[name]
+    assignment = full_assignment(base, catalog)
+
+    def run():
+        copy = embed(base, catalog, assignment)
+        return reactive_delay_constrain(copy, CONSTRAINT)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.met_constraint
+    benchmark.extra_info["kept"] = result.kept
+    benchmark.extra_info["surviving_bits"] = round(result.surviving_bits, 1)
+
+
+def test_proactive(benchmark, circuits, catalogs, suite_names):
+    name = suite_names[0]
+    base, catalog = circuits[name], catalogs[name]
+
+    def run():
+        return proactive_delay_constrain(base, catalog, CONSTRAINT)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.met_constraint
+    benchmark.extra_info["kept"] = result.kept
+    benchmark.extra_info["surviving_bits"] = round(result.surviving_bits, 1)
+
+
+def test_heuristics_agree_on_budget(circuits, catalogs, suite_names):
+    """Both heuristics keep the copy within the same delay budget."""
+    for name in suite_names:
+        base, catalog = circuits[name], catalogs[name]
+        copy = embed(base, catalog, full_assignment(base, catalog))
+        reactive = reactive_delay_constrain(copy, CONSTRAINT)
+        proactive = proactive_delay_constrain(base, catalog, CONSTRAINT)
+        budget = reactive.baseline_delay * (1 + CONSTRAINT)
+        assert reactive.final_delay <= budget + 1e-9, name
+        assert proactive.final_delay <= budget + 1e-9, name

@@ -1,0 +1,59 @@
+"""A6 — Ablation: mapped-netlist texture vs fingerprint yield.
+
+The number of Definition-1 locations depends on the gate texture the
+technology mapper produces (the paper's counts come from an ABC-mapped
+library netlist).  This ablation round-trips a suite circuit through BLIF
+and re-maps it in the three supported styles, then counts locations and
+capacity per style.
+
+Expected shape: controlling-value-rich textures (nand, aig) yield at
+least as many locations per gate as the AND/OR/INV style; XOR-free
+textures never lose locations to criterion-3 failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fingerprint import capacity, find_locations
+from repro.netlist import parse_blif, write_blif
+from repro.sim import check_equivalence
+from repro.techmap import map_network
+
+STYLES = ("aoi", "nand", "aig")
+
+
+@pytest.mark.parametrize("style", STYLES)
+def test_mapping_style_yield(benchmark, circuits, suite_names, style):
+    name = suite_names[0]
+    base = circuits[name]
+    network = parse_blif(write_blif(base))
+
+    def remap_and_count():
+        mapped = map_network(network, style=style)
+        catalog = find_locations(mapped)
+        return mapped, catalog
+
+    mapped, catalog = benchmark.pedantic(remap_and_count, rounds=2, iterations=1)
+    assert check_equivalence(base, mapped, n_random_vectors=2048).equivalent
+    report = capacity(catalog)
+    benchmark.extra_info["style"] = style
+    benchmark.extra_info["gates"] = mapped.n_gates
+    benchmark.extra_info["locations"] = report.n_locations
+    benchmark.extra_info["bits"] = round(report.bits, 1)
+    benchmark.extra_info["locations_per_kgate"] = round(
+        1000.0 * report.n_locations / max(1, mapped.n_gates), 1
+    )
+    assert report.n_locations > 0
+
+
+def test_styles_equivalent(circuits, suite_names):
+    """All three mappings of the same function are mutually equivalent."""
+    name = suite_names[0]
+    base = circuits[name]
+    network = parse_blif(write_blif(base))
+    mapped = {s: map_network(network, style=s) for s in STYLES}
+    for style, circuit in mapped.items():
+        assert check_equivalence(
+            base, circuit, n_random_vectors=2048
+        ).equivalent, style

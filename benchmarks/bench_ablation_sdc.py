@@ -1,0 +1,88 @@
+"""A5 — Extension: SDC vs ODC fingerprinting capacity and cost.
+
+The paper positions itself as the successor to the authors' SDC-based
+technique (ref [9]); this bench implements the comparison the two papers
+imply: on the same circuits, how many fingerprint bits does each method
+offer, and at what area/delay cost?  Expected shape: ODC capacity is much
+larger (ODC conditions "exist almost everywhere"), while SDC swaps are
+nearly free (same-arity cell swap, no rerouting) but scarce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import measure, overhead
+from repro.fingerprint import (
+    capacity,
+    embed,
+    find_locations,
+    find_sdc_slots,
+    full_assignment,
+    sdc_embed,
+)
+from repro.sim import check_equivalence
+
+MAX_SDC_SLOTS = 24  # keep SAT verification bounded per circuit
+
+
+def test_sdc_discovery(benchmark, circuits, suite_names):
+    name = suite_names[0]
+    base = circuits[name]
+    catalog = benchmark.pedantic(
+        find_sdc_slots, args=(base,), kwargs={"max_slots": MAX_SDC_SLOTS},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["slots"] = catalog.n_slots
+    benchmark.extra_info["bits"] = round(catalog.bits, 2)
+
+
+def test_sdc_vs_odc_capacity_and_cost(benchmark, circuits, catalogs, suite_names):
+    rows = []
+    for name in suite_names:
+        base = circuits[name]
+        baseline = measure(base)
+
+        odc_catalog = catalogs[name]
+        odc_copy = embed(base, odc_catalog, full_assignment(base, odc_catalog))
+        odc_cost = overhead(baseline, measure(odc_copy.circuit))
+
+        sdc_catalog = find_sdc_slots(base, max_slots=MAX_SDC_SLOTS)
+        sdc_copy = sdc_embed(
+            base, sdc_catalog, {s.target: 1 for s in sdc_catalog}
+        )
+        sdc_cost = overhead(baseline, measure(sdc_copy.circuit))
+        assert check_equivalence(base, sdc_copy.circuit, n_random_vectors=4096).equivalent
+
+        rows.append(
+            {
+                "circuit": name,
+                "odc_bits": round(capacity(odc_catalog).bits, 1),
+                "sdc_bits": round(sdc_catalog.bits, 1),
+                "odc_area_pct": round(100 * odc_cost.area, 2),
+                "sdc_area_pct": round(100 * sdc_cost.area, 2),
+                "odc_delay_pct": round(100 * odc_cost.delay, 2),
+                "sdc_delay_pct": round(100 * sdc_cost.delay, 2),
+            }
+        )
+        # Shape: ODC offers (far) more bits; SDC swaps cost (almost) no area.
+        assert rows[-1]["odc_bits"] > rows[-1]["sdc_bits"]
+        assert abs(rows[-1]["sdc_area_pct"]) <= rows[-1]["odc_area_pct"] + 1e-9
+
+    def summarize():
+        return {
+            "avg_odc_bits": sum(r["odc_bits"] for r in rows) / len(rows),
+            "avg_sdc_bits": sum(r["sdc_bits"] for r in rows) / len(rows),
+        }
+
+    summary = benchmark(summarize)
+    print()
+    header = (f"{'circuit':<8}{'ODC bits':>10}{'SDC bits':>10}"
+              f"{'ODC area%':>11}{'SDC area%':>11}{'ODC delay%':>12}{'SDC delay%':>12}")
+    print(header)
+    for r in rows:
+        print(f"{r['circuit']:<8}{r['odc_bits']:>10}{r['sdc_bits']:>10}"
+              f"{r['odc_area_pct']:>11}{r['sdc_area_pct']:>11}"
+              f"{r['odc_delay_pct']:>12}{r['sdc_delay_pct']:>12}")
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["summary"] = summary

@@ -1,0 +1,85 @@
+"""E5 — §III.E security analysis: buyer distribution, collusion, tracing.
+
+Benchmarks the tracing pipeline (extract + score) and asserts the paper's
+claims: single pirated copies identify their buyer exactly; collusion
+forgeries trace back to (a subset of) the colluders with no false
+accusations; and the redundant encoding survives partial scrubbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fingerprint import (
+    BuyerRegistry,
+    RedundantCodec,
+    buyer_payload,
+    collude,
+    colluders_traced,
+    embed,
+    extract,
+    trace,
+)
+
+N_BUYERS = 24
+
+
+@pytest.fixture(scope="module")
+def market(circuits, catalogs, suite_names):
+    name = suite_names[0]
+    base = circuits[name]
+    catalog = catalogs[name]
+    registry = BuyerRegistry(catalog, seed=42)
+    for i in range(N_BUYERS):
+        registry.register(f"buyer{i:02d}")
+    return base, catalog, registry
+
+
+def test_trace_single_pirate(benchmark, market):
+    base, catalog, registry = market
+    buyer = registry.record("buyer07")
+    pirate = embed(base, catalog, buyer.assignment, name="pirate")
+
+    def identify():
+        recovered = extract(pirate.circuit, base, catalog)
+        return trace(registry, recovered.assignment)
+
+    report = benchmark(identify)
+    assert report.scores[0][0] == "buyer07"
+    assert report.accused == ("buyer07",)
+    benchmark.extra_info["buyers"] = N_BUYERS
+    benchmark.extra_info["slots"] = len(catalog.slots())
+
+
+@pytest.mark.parametrize("strategy", ["majority", "random", "strip"])
+def test_trace_collusion(benchmark, market, strategy):
+    base, catalog, registry = market
+    colluders = ["buyer03", "buyer11", "buyer19"]
+    assignments = [registry.record(b).assignment for b in colluders]
+
+    def attack_and_trace():
+        outcome = collude(assignments, strategy=strategy, seed=9)
+        return trace(registry, outcome.pirate_assignment)
+
+    report = benchmark(attack_and_trace)
+    no_false, missed = colluders_traced(report, colluders)
+    assert no_false, f"innocent buyer accused under {strategy}"
+    assert len(missed) < len(colluders), f"{strategy} erased all colluders"
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["caught"] = len(colluders) - len(missed)
+
+
+def test_redundant_encoding_robustness(benchmark, market):
+    base, catalog, registry = market
+    codec = RedundantCodec(catalog, copies=3)
+    payload = buyer_payload("acme-corp", codec.payload_bits)
+
+    def roundtrip_with_scrub():
+        assignment = codec.encode(payload)
+        for slot in codec._groups[0]:
+            assignment[slot.target] = 0  # attacker strips one group
+        return codec.decode(assignment)
+
+    recovered = benchmark(roundtrip_with_scrub)
+    assert recovered == payload
+    benchmark.extra_info["payload_bits"] = codec.payload_bits

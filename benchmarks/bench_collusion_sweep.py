@@ -1,0 +1,132 @@
+"""E5b — Collusion-resistance sweep: tracing vs coalition size.
+
+§III.E argues collusion is the strongest attack but that colluders remain
+traceable while any fingerprint information survives.  This bench
+quantifies it on the reproduction: for coalitions of 2..7 buyers (out of
+a 24-buyer market) and each forgery strategy, measure how many colluders
+tracing recovers and whether any innocent buyer is ever accused.
+
+Expected shape: zero false accusations throughout; the caught fraction
+decays as the coalition grows (each colluder's share of visible slots
+shrinks), but stays positive across the sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fingerprint import (
+    BuyerRegistry,
+    collude,
+    colluders_traced,
+    trace,
+)
+
+N_BUYERS = 24
+COALITIONS = (2, 3, 5, 7)
+TRIALS_PER_POINT = 6
+
+
+@pytest.fixture(scope="module")
+def market(catalogs, suite_names):
+    catalog = catalogs[suite_names[0]]
+    registry = BuyerRegistry(catalog, seed=11)
+    for i in range(N_BUYERS):
+        registry.register(f"buyer{i:02d}")
+    return registry
+
+
+def _sweep(registry, strategy):
+    rng = random.Random(99)
+    results = {}
+    for size in COALITIONS:
+        caught = 0
+        total = 0
+        false_accusations = 0
+        for trial in range(TRIALS_PER_POINT):
+            colluders = rng.sample(registry.buyers, size)
+            outcome = collude(
+                [registry.record(b).assignment for b in colluders],
+                strategy=strategy,
+                seed=trial,
+            )
+            report = trace(registry, outcome.pirate_assignment)
+            no_false, missed = colluders_traced(report, colluders)
+            if not no_false:
+                false_accusations += 1
+            caught += size - len(missed)
+            total += size
+        results[size] = {
+            "caught_fraction": caught / total,
+            "false_accusation_trials": false_accusations,
+        }
+    return results
+
+
+@pytest.mark.parametrize("strategy", ["majority", "strip"])
+def test_collusion_sweep(benchmark, market, strategy):
+    results = benchmark.pedantic(
+        _sweep, args=(market, strategy), rounds=1, iterations=1
+    )
+    print()
+    print(f"strategy={strategy}:")
+    for size, stats in results.items():
+        print(
+            f"  {size} colluders: caught {stats['caught_fraction']:.0%}, "
+            f"false-accusation trials {stats['false_accusation_trials']}"
+        )
+    for size, stats in results.items():
+        assert stats["false_accusation_trials"] == 0, (
+            f"innocent buyer accused with {size} colluders"
+        )
+        assert stats["caught_fraction"] > 0.0
+    # Small coalitions must be traced essentially completely.
+    assert results[2]["caught_fraction"] >= 0.75
+    benchmark.extra_info["results"] = {str(k): v for k, v in results.items()}
+
+
+def test_scrub_resistance(benchmark, market):
+    """E5c — how much must an attacker destroy to evade tracing?
+
+    Random fractions of slots are reverted to configuration 0 ("scrubbed")
+    on a single buyer's copy; tracing is attempted at each level.  Shape:
+    tracing survives substantial scrubbing (the surviving slots still
+    correlate with only one buyer) and, crucially, never accuses an
+    innocent buyer even when everything is destroyed.
+    """
+    import random as _random
+
+    registry = market
+    target_buyer = "buyer05"
+    record = registry.record(target_buyer)
+    slots = list(record.assignment)
+
+    def sweep():
+        rng = _random.Random(5)
+        results = {}
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            identified = 0
+            falsely_accused = 0
+            for trial in range(5):
+                scrubbed = dict(record.assignment)
+                for slot in rng.sample(slots, int(len(slots) * fraction)):
+                    scrubbed[slot] = 0
+                report = trace(registry, scrubbed)
+                if target_buyer in report.accused:
+                    identified += 1
+                if any(b != target_buyer for b in report.accused):
+                    falsely_accused += 1
+            results[fraction] = (identified, falsely_accused)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for fraction, (identified, falsely) in results.items():
+        print(f"  scrub {fraction:.0%}: identified {identified}/5, "
+              f"false accusations {falsely}")
+    assert results[0.0][0] == 5          # verbatim copy always traced
+    assert results[0.25][0] >= 4         # survives 25% destruction
+    assert all(f == 0 for _, f in results.values())  # never frame innocents
+    benchmark.extra_info["results"] = {str(k): v for k, v in results.items()}

@@ -1,0 +1,61 @@
+"""E2 — Paper Table III: reactive delay-constrained fingerprinting.
+
+For each delay constraint (10% / 5% / 1%), start from the fully
+fingerprinted copy of each suite circuit, run the paper's reactive removal
+heuristic, and report the suite-average fingerprint reduction and
+area/delay/power overheads next to the paper's averages.  The benchmarked
+quantity is one reactive pruning run at the 5% level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import CONSTRAINT_LEVELS, render_table3, run_table3
+from repro.fingerprint import embed, full_assignment, reactive_delay_constrain
+
+
+def test_table3_averages(benchmark, circuits, catalogs, suite_names):
+    name = suite_names[0]
+    base = circuits[name]
+    catalog = catalogs[name]
+    assignment = full_assignment(base, catalog)
+
+    def prune():
+        copy = embed(base, catalog, assignment)
+        return reactive_delay_constrain(copy, 0.05)
+
+    result = benchmark.pedantic(prune, rounds=2, iterations=1)
+    assert result.met_constraint
+
+    rows = run_table3(suite_names, constraints=CONSTRAINT_LEVELS)
+    print()
+    print(render_table3(rows))
+
+    # Shape assertions mirroring the paper's Table III:
+    # every average respects the constraint cap...
+    for row in rows:
+        assert row.delay_overhead <= row.constraint + 1e-6
+        assert all(cell.met_constraint for cell in row.cells)
+    # ...tighter constraints sacrifice at least as many fingerprints and
+    # leave no more delay overhead behind.
+    by_constraint = {row.constraint: row for row in rows}
+    assert (
+        by_constraint[0.01].fingerprint_reduction
+        >= by_constraint[0.10].fingerprint_reduction - 1e-9
+    )
+    assert by_constraint[0.01].delay_overhead <= by_constraint[0.10].delay_overhead + 1e-9
+    # Area/power overheads shrink as modifications are removed.
+    assert by_constraint[0.01].area_overhead <= by_constraint[0.10].area_overhead + 1e-9
+
+    benchmark.extra_info["rows"] = [
+        {
+            "constraint_pct": int(round(100 * row.constraint)),
+            "fingerprint_reduction_pct": round(100 * row.fingerprint_reduction, 2),
+            "area_overhead_pct": round(100 * row.area_overhead, 2),
+            "delay_overhead_pct": round(100 * row.delay_overhead, 2),
+            "power_overhead_pct": round(100 * row.power_overhead, 2),
+            "paper": row.paper,
+        }
+        for row in rows
+    ]

@@ -1,0 +1,30 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each bench regenerates one paper artefact (Table II, Table III, Fig. 7)
+or an ablation.  ``REPRO_SUITE=quick|medium|full`` picks how many suite
+circuits each experiment covers (default: quick, so the whole benchmark
+run finishes in well under a minute; ``full`` reproduces every row of the
+paper's tables).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_benchmark, suite_for_budget
+from repro.fingerprint import find_locations
+
+
+@pytest.fixture(scope="session")
+def suite_names():
+    return suite_for_budget()
+
+
+@pytest.fixture(scope="session")
+def circuits(suite_names):
+    return {name: build_benchmark(name) for name in suite_names}
+
+
+@pytest.fixture(scope="session")
+def catalogs(circuits):
+    return {name: find_locations(circuit) for name, circuit in circuits.items()}

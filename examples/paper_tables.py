@@ -1,0 +1,53 @@
+"""Regenerate the paper's Table II, Table III and Fig. 7.
+
+Prints measured-vs-paper comparisons for every experiment artefact.
+The circuit set follows REPRO_SUITE (quick | medium | full) or the first
+command-line argument; ``full`` covers all 14 Table II circuits and takes
+a few minutes (the reactive heuristic re-times the circuit per removal).
+
+Run:  python examples/paper_tables.py [quick|medium|full]
+"""
+
+import sys
+import time
+
+from repro.bench import (
+    render_figure7,
+    render_table2,
+    render_table3,
+    run_figure7,
+    run_table2,
+    run_table3,
+    suite_for_budget,
+)
+
+
+def main() -> None:
+    budget = sys.argv[1] if len(sys.argv) > 1 else None
+    names = suite_for_budget(budget)
+    print(f"suite: {', '.join(names)}\n")
+
+    start = time.time()
+    print("=" * 72)
+    print("Table II — ODC fingerprint injection (measured vs paper)")
+    print("=" * 72)
+    print(render_table2(run_table2(names)))
+
+    print()
+    print("=" * 72)
+    print("Table III — reactive heuristic under delay constraints")
+    print("=" * 72)
+    table3_rows = run_table3(names)
+    print(render_table3(table3_rows))
+
+    print()
+    print("=" * 72)
+    print("Figure 7 — fingerprint sizes before/after constraints (bits)")
+    print("=" * 72)
+    print(render_figure7(run_figure7(names, table3_rows=table3_rows)))
+
+    print(f"\ntotal runtime: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""repro — ODC-based circuit fingerprinting (Dunbar & Qu, DAC 2015).
+
+A pure-Python reproduction of the paper's fingerprinting system together
+with every substrate it depends on: netlist modelling and I/O, a cell
+library, a technology mapper, Boolean/ODC analysis, logic simulation,
+SAT-based equivalence checking, static timing analysis, power estimation,
+the benchmark suite and the experiment harness.
+
+Quickstart::
+
+    from repro import fingerprint_flow
+    from repro.bench import build_benchmark
+
+    result = fingerprint_flow(build_benchmark("C432"))
+    print(result.summary())
+"""
+
+from .cells import GENERIC_LIB, Cell, CellLibrary, generic_library
+from .netlist import (
+    Circuit,
+    CircuitBuilder,
+    Gate,
+    NetlistError,
+    parse_blif,
+    parse_verilog,
+    write_blif,
+    write_verilog,
+)
+from .logic import TruthTable, global_odc, local_odc
+from .sim import check_equivalence, exhaustive_equivalent, random_equivalent
+from .sat import sat_equivalent, solve_cnf
+from .timing import analyze, critical_delay
+from .power import estimate_power, total_power
+from .analysis import Metrics, Overhead, circuit_overhead, measure
+from .fingerprint import (
+    BuyerRegistry,
+    FinderOptions,
+    FingerprintCodec,
+    FingerprintedCircuit,
+    LocationCatalog,
+    capacity,
+    collude,
+    embed,
+    extract,
+    find_locations,
+    full_assignment,
+    proactive_delay_constrain,
+    reactive_delay_constrain,
+    trace,
+)
+from .techmap import map_network
+from .flows import FlowResult, fingerprint_flow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GENERIC_LIB",
+    "Cell",
+    "CellLibrary",
+    "generic_library",
+    "Circuit",
+    "CircuitBuilder",
+    "Gate",
+    "NetlistError",
+    "parse_blif",
+    "parse_verilog",
+    "write_blif",
+    "write_verilog",
+    "TruthTable",
+    "global_odc",
+    "local_odc",
+    "check_equivalence",
+    "exhaustive_equivalent",
+    "random_equivalent",
+    "sat_equivalent",
+    "solve_cnf",
+    "analyze",
+    "critical_delay",
+    "estimate_power",
+    "total_power",
+    "Metrics",
+    "Overhead",
+    "circuit_overhead",
+    "measure",
+    "BuyerRegistry",
+    "FinderOptions",
+    "FingerprintCodec",
+    "FingerprintedCircuit",
+    "LocationCatalog",
+    "capacity",
+    "collude",
+    "embed",
+    "extract",
+    "find_locations",
+    "full_assignment",
+    "proactive_delay_constrain",
+    "reactive_delay_constrain",
+    "trace",
+    "map_network",
+    "FlowResult",
+    "fingerprint_flow",
+    "__version__",
+]

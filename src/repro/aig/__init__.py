@@ -1,0 +1,25 @@
+"""And-inverter graphs with structural hashing (ABC's core structure)."""
+
+from .graph import (
+    FALSE,
+    TRUE,
+    Aig,
+    aig_to_circuit,
+    circuit_to_aig,
+    lit_is_complemented,
+    lit_node,
+    lit_not,
+    strash_equivalent,
+)
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "Aig",
+    "aig_to_circuit",
+    "circuit_to_aig",
+    "lit_is_complemented",
+    "lit_node",
+    "lit_not",
+    "strash_equivalent",
+]

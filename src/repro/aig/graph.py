@@ -1,0 +1,355 @@
+"""And-Inverter Graphs with structural hashing (strashing).
+
+The AIG is the workhorse representation inside Berkeley ABC; this module
+provides the part of it the reproduction benefits from: a hash-consed
+two-input-AND + complemented-edge network with constant folding and local
+simplification rules, conversions to and from gate-level circuits, and a
+fast sufficient equivalence check (strash equality).
+
+Literals encode a node and a polarity: ``literal = 2 * node + complement``.
+Node 0 is the constant-FALSE node, so literal 0 is FALSE and literal 1 is
+TRUE.  Primary inputs are leaf nodes; every other node is a structural
+AND of two literals, uniquified by the strash table, with the rewrite
+rules ``x & x = x``, ``x & !x = 0``, ``x & 1 = x`` and ``x & 0 = 0``
+applied on construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cells import functions
+from ..cells.library import CellLibrary
+from ..netlist.circuit import Circuit
+
+FALSE = 0
+TRUE = 1
+
+
+def lit_not(literal: int) -> int:
+    """Complement a literal."""
+    return literal ^ 1
+
+
+def lit_node(literal: int) -> int:
+    """Node index of a literal."""
+    return literal >> 1
+
+
+def lit_is_complemented(literal: int) -> bool:
+    return bool(literal & 1)
+
+
+class Aig:
+    """A strashed and-inverter graph."""
+
+    def __init__(self) -> None:
+        # node 0 is constant false; inputs and ANDs follow.
+        self._fanins: List[Optional[Tuple[int, int]]] = [None]
+        self._input_names: List[str] = []
+        self._input_node: Dict[str, int] = {}
+        self._strash: Dict[Tuple[int, int], int] = {}
+        self._outputs: List[Tuple[str, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_input(self, name: str) -> int:
+        """Declare a primary input; returns its (positive) literal."""
+        if name in self._input_node:
+            raise ValueError(f"duplicate AIG input {name!r}")
+        node = len(self._fanins)
+        self._fanins.append(None)
+        self._input_node[name] = node
+        self._input_names.append(name)
+        return 2 * node
+
+    def input_literal(self, name: str) -> int:
+        return 2 * self._input_node[name]
+
+    def and_(self, a: int, b: int) -> int:
+        """Strashed AND of two literals with local simplification."""
+        if a > b:
+            a, b = b, a
+        if a == FALSE or b == FALSE:
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE:
+            return a
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return FALSE
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = len(self._fanins)
+            self._fanins.append(key)
+            self._strash[key] = node
+        return 2 * node
+
+    def or_(self, a: int, b: int) -> int:
+        return lit_not(self.and_(lit_not(a), lit_not(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.or_(self.and_(a, lit_not(b)), self.and_(lit_not(a), b))
+
+    def and_many(self, literals: Sequence[int]) -> int:
+        acc = TRUE
+        for literal in literals:
+            acc = self.and_(acc, literal)
+        return acc
+
+    def or_many(self, literals: Sequence[int]) -> int:
+        acc = FALSE
+        for literal in literals:
+            acc = self.or_(acc, literal)
+        return acc
+
+    def xor_many(self, literals: Sequence[int]) -> int:
+        acc = FALSE
+        for literal in literals:
+            acc = self.xor_(acc, literal)
+        return acc
+
+    def add_output(self, name: str, literal: int) -> None:
+        self._outputs.append((name, literal))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_nodes(self) -> int:
+        """Total nodes including the constant and the inputs."""
+        return len(self._fanins)
+
+    @property
+    def n_ands(self) -> int:
+        return len(self._strash)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self._input_names)
+
+    @property
+    def inputs(self) -> List[str]:
+        return list(self._input_names)
+
+    @property
+    def outputs(self) -> List[Tuple[str, int]]:
+        return list(self._outputs)
+
+    def is_input_node(self, node: int) -> bool:
+        return node != 0 and self._fanins[node] is None
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        pair = self._fanins[node]
+        if pair is None:
+            raise ValueError(f"node {node} is not an AND node")
+        return pair
+
+    def levels(self) -> Dict[int, int]:
+        """Node -> AND-depth (inputs and the constant at level 0)."""
+        level: Dict[int, int] = {}
+        for node in range(self.n_nodes):
+            pair = self._fanins[node]
+            if pair is None:
+                level[node] = 0
+            else:
+                level[node] = 1 + max(
+                    level[lit_node(pair[0])], level[lit_node(pair[1])]
+                )
+        return level
+
+    def depth(self) -> int:
+        levels = self.levels()
+        if not self._outputs:
+            return 0
+        return max(levels[lit_node(lit)] for _, lit in self._outputs)
+
+    def evaluate(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Evaluate all outputs for one input assignment."""
+        value: List[int] = [0] * self.n_nodes
+        for name, node in self._input_node.items():
+            value[node] = assignment.get(name, 0) & 1
+        for node in range(1, self.n_nodes):
+            pair = self._fanins[node]
+            if pair is None:
+                continue
+            a, b = pair
+            va = value[lit_node(a)] ^ (a & 1)
+            vb = value[lit_node(b)] ^ (b & 1)
+            value[node] = va & vb
+        result = {}
+        for name, literal in self._outputs:
+            result[name] = value[lit_node(literal)] ^ (literal & 1)
+        return result
+
+
+def circuit_to_aig(circuit: Circuit) -> Aig:
+    """Compile a gate-level circuit into a strashed AIG."""
+    aig = Aig()
+    literal_of: Dict[str, int] = {}
+    for name in circuit.inputs:
+        literal_of[name] = aig.add_input(name)
+    for gate in circuit.topological_order():
+        kind = gate.kind
+        if kind == "CONST0":
+            literal_of[gate.name] = FALSE
+            continue
+        if kind == "CONST1":
+            literal_of[gate.name] = TRUE
+            continue
+        operands = [literal_of[n] for n in gate.inputs]
+        if kind == "BUF":
+            literal_of[gate.name] = operands[0]
+            continue
+        if kind == "INV":
+            literal_of[gate.name] = lit_not(operands[0])
+            continue
+        base = functions.base_operator(kind)
+        if base == "AND":
+            value = aig.and_many(operands)
+        elif base == "OR":
+            value = aig.or_many(operands)
+        else:
+            value = aig.xor_many(operands)
+        if functions.is_inverting(kind):
+            value = lit_not(value)
+        literal_of[gate.name] = value
+    for net in circuit.outputs:
+        aig.add_output(net, literal_of[net])
+    return aig
+
+
+def aig_to_circuit(
+    aig: Aig,
+    name: str = "aig",
+    library: Optional[CellLibrary] = None,
+) -> Circuit:
+    """Lower an AIG to an AND2/INV gate-level netlist.
+
+    Only nodes in the transitive fanin of an output are emitted.
+    Complemented edges become shared inverter gates; outputs keep their
+    declared names (via an inverter or buffer at the boundary).
+    """
+    circuit = Circuit(name, library)
+    for input_name in aig.inputs:
+        circuit.add_input(input_name)
+
+    # Mark live nodes.
+    live = set()
+    stack = [lit_node(lit) for _, lit in aig.outputs]
+    while stack:
+        node = stack.pop()
+        if node in live or node == 0 or aig.is_input_node(node):
+            continue
+        live.add(node)
+        a, b = aig.fanins(node)
+        stack.extend((lit_node(a), lit_node(b)))
+
+    net_of_node: Dict[int, str] = {}
+    for input_name in aig.inputs:
+        net_of_node[aig.input_literal(input_name) >> 1] = input_name
+    inverted_of: Dict[str, str] = {}
+    const_nets: Dict[int, str] = {}
+
+    def const_net(value: int) -> str:
+        net = const_nets.get(value)
+        if net is None:
+            net = f"aig_const{value}"
+            circuit.add_gate(net, "CONST1" if value else "CONST0", [])
+            const_nets[value] = net
+        return net
+
+    def literal_net(literal: int) -> str:
+        node = lit_node(literal)
+        if node == 0:
+            return const_net(1 if lit_is_complemented(literal) else 0)
+        net = net_of_node[node]
+        if not lit_is_complemented(literal):
+            return net
+        cached = inverted_of.get(net)
+        if cached is None:
+            cached = f"aig_n{node}_inv"
+            circuit.add_gate(cached, "INV", [net])
+            inverted_of[net] = cached
+        return cached
+
+    for node in range(aig.n_nodes):
+        if node not in live:
+            continue
+        a, b = aig.fanins(node)
+        circuit.add_gate(
+            f"aig_n{node}", "AND", [literal_net(a), literal_net(b)]
+        )
+        net_of_node[node] = f"aig_n{node}"
+
+    for output_name, literal in aig.outputs:
+        if circuit.has_net(output_name):
+            # An input feeding through under its own name.
+            if not lit_is_complemented(literal) and lit_node(literal) in net_of_node \
+                    and net_of_node[lit_node(literal)] == output_name:
+                circuit.add_output(output_name)
+                continue
+            raise ValueError(f"output name {output_name!r} collides with a net")
+        source = literal_net(literal)
+        circuit.add_gate(output_name, "BUF", [source])
+        circuit.add_output(output_name)
+    circuit.validate()
+    return circuit
+
+
+def strash_equivalent(left: Circuit, right: Circuit) -> bool:
+    """Fast *sufficient* equivalence check via shared strashing.
+
+    Compiles both circuits into one AIG (shared inputs); identical output
+    literals prove equivalence.  A ``False`` result is inconclusive —
+    functionally equal but structurally different logic may strash to
+    different nodes — so callers fall back to simulation or SAT.
+    """
+    if set(left.inputs) != set(right.inputs):
+        return False
+    if list(left.outputs) != list(right.outputs):
+        return False
+    aig = Aig()
+    literal_of: Dict[str, int] = {}
+    for name in left.inputs:
+        literal_of[name] = aig.add_input(name)
+
+    def compile_into(circuit: Circuit, prefix: str) -> Dict[str, int]:
+        local = dict(literal_of)
+        for gate in circuit.topological_order():
+            kind = gate.kind
+            if kind == "CONST0":
+                local[gate.name] = FALSE
+                continue
+            if kind == "CONST1":
+                local[gate.name] = TRUE
+                continue
+            operands = [local[n] for n in gate.inputs]
+            if kind == "BUF":
+                local[gate.name] = operands[0]
+                continue
+            if kind == "INV":
+                local[gate.name] = lit_not(operands[0])
+                continue
+            base = functions.base_operator(kind)
+            if base == "AND":
+                value = aig.and_many(operands)
+            elif base == "OR":
+                value = aig.or_many(operands)
+            else:
+                value = aig.xor_many(operands)
+            if functions.is_inverting(kind):
+                value = lit_not(value)
+            local[gate.name] = value
+        return {net: local[net] for net in circuit.outputs}
+
+    left_outputs = compile_into(left, "L")
+    right_outputs = compile_into(right, "R")
+    return all(left_outputs[o] == right_outputs[o] for o in left.outputs)

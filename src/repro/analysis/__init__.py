@@ -1,0 +1,25 @@
+"""Circuit measurement and comparison."""
+
+from .metrics import Metrics, measure, total_area
+from .compare import Overhead, circuit_overhead, overhead
+from .report import design_report
+from .testability import (
+    controllability,
+    hardest_nets,
+    observability as scoap_observability,
+    testability_report,
+)
+
+__all__ = [
+    "Metrics",
+    "measure",
+    "total_area",
+    "Overhead",
+    "circuit_overhead",
+    "overhead",
+    "design_report",
+    "controllability",
+    "hardest_nets",
+    "scoap_observability",
+    "testability_report",
+]

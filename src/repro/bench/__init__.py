@@ -1,0 +1,69 @@
+"""Benchmark circuits and the paper's experiment harness."""
+
+from .generators import (
+    array_multiplier,
+    pad_to_gate_count,
+    priority_controller,
+    sec_network,
+    simple_alu,
+)
+from .random_logic import DEFAULT_MIX, RandomLogicSpec, generate
+from .suite import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    SMALL_SUITE,
+    SPECS,
+    SUITE_ORDER,
+    BenchmarkSpec,
+    benchmark_names,
+    build_benchmark,
+    build_suite,
+)
+from .harness import (
+    CONSTRAINT_LEVELS,
+    MEDIUM_SUITE,
+    QUICK_SUITE,
+    Figure7Series,
+    Table2Row,
+    Table3Cell,
+    Table3Row,
+    run_figure7,
+    run_table2,
+    run_table3,
+    suite_for_budget,
+)
+from .reporting import render_figure7, render_table2, render_table3
+
+__all__ = [
+    "array_multiplier",
+    "pad_to_gate_count",
+    "priority_controller",
+    "sec_network",
+    "simple_alu",
+    "DEFAULT_MIX",
+    "RandomLogicSpec",
+    "generate",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "SMALL_SUITE",
+    "SPECS",
+    "SUITE_ORDER",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "build_benchmark",
+    "build_suite",
+    "CONSTRAINT_LEVELS",
+    "MEDIUM_SUITE",
+    "QUICK_SUITE",
+    "Figure7Series",
+    "Table2Row",
+    "Table3Cell",
+    "Table3Row",
+    "run_figure7",
+    "run_table2",
+    "run_table3",
+    "suite_for_budget",
+    "render_figure7",
+    "render_table2",
+    "render_table3",
+]

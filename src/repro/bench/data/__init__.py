@@ -1,0 +1,23 @@
+"""Bundled benchmark data files (real public-domain circuits)."""
+
+import os
+from typing import List
+
+_DATA_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def data_path(name: str) -> str:
+    """Absolute path of a bundled data file."""
+    path = os.path.join(_DATA_DIR, name)
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no bundled data file {name!r}")
+    return path
+
+
+def available() -> List[str]:
+    """Names of all bundled data files."""
+    return sorted(
+        entry
+        for entry in os.listdir(_DATA_DIR)
+        if not entry.endswith(".py") and not entry.startswith("__")
+    )

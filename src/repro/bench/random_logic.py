@@ -1,0 +1,280 @@
+"""Calibrated layered random-logic generator.
+
+Stands in for MCNC benchmarks whose internal structure is not documented
+(des, k2, t481, i8, i10, vda — see DESIGN.md §3), and provides the
+auxiliary "blob" logic used to pad structural stand-ins to the paper's
+exact gate counts.
+
+Generation is seeded and deterministic, and *layered*: gates are placed in
+explicit layers and read nets only from the few preceding layers (plus
+primary inputs with small probability).  That yields the texture of a
+technology-mapped netlist — bounded logic depth, mostly-local wiring,
+plenty of single-fanout nets (hence fanout-free cones, hence fingerprint
+locations) — instead of the pathological deep chains or random long wires
+a naive generator produces.
+
+Gate-count calibration is exact: a final balanced XOR tree collects all
+otherwise-dangling nets into one observability output, and the generator
+tops up with extra tree leaves (2 gates each) plus an optional root
+inverter to land exactly on the target.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cells.library import CellLibrary
+from ..netlist.circuit import Circuit
+
+#: Default gate-kind mix: (kind, weight, min_arity, max_arity).
+DEFAULT_MIX: Tuple[Tuple[str, float, int, int], ...] = (
+    ("NAND", 0.26, 2, 4),
+    ("NOR", 0.14, 2, 4),
+    ("AND", 0.18, 2, 4),
+    ("OR", 0.14, 2, 4),
+    ("INV", 0.14, 1, 1),
+    ("XOR", 0.09, 2, 2),
+    ("XNOR", 0.05, 2, 2),
+)
+
+
+@dataclass(frozen=True)
+class RandomLogicSpec:
+    """Parameters of one calibrated random-logic circuit.
+
+    ``depth`` bounds the work-gate layer count; the default scales
+    logarithmically with size, matching the depth range of the mapped
+    MCNC/ISCAS originals.
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    seed: int
+    depth: Optional[int] = None
+    pi_bias: float = 0.10
+    window: int = 3
+    mix: Tuple[Tuple[str, float, int, int], ...] = DEFAULT_MIX
+
+    def layer_count(self) -> int:
+        if self.depth is not None:
+            return max(2, self.depth)
+        return max(4, int(4 + 2.2 * math.log2(max(2, self.n_gates))))
+
+
+def _pick_kind(rng: random.Random, mix) -> Tuple[str, int]:
+    total = sum(w for _, w, _, _ in mix)
+    roll = rng.random() * total
+    for kind, weight, lo, hi in mix:
+        roll -= weight
+        if roll <= 0:
+            return kind, rng.randint(lo, hi)
+    kind, _, lo, hi = mix[-1]
+    return kind, rng.randint(lo, hi)
+
+
+def grow_layered_gates(
+    circuit: Circuit,
+    count: int,
+    rng: random.Random,
+    base_pool: Sequence[str],
+    n_layers: int,
+    prefix: str = "g",
+    pi_bias: float = 0.10,
+    window: int = 3,
+    mix=DEFAULT_MIX,
+) -> List[str]:
+    """Add ``count`` work gates to ``circuit`` in ``n_layers`` layers.
+
+    Gates read only ``base_pool`` nets (typically the primary inputs) and
+    outputs of the preceding ``window`` layers, so existing logic in the
+    circuit is never disturbed (no new fanout on its nets) and every added
+    edge is short.  Returns the names of all added gates.
+    """
+    if count <= 0:
+        return []
+    base_pool = list(base_pool)
+    if not base_pool:
+        raise ValueError("grow_layered_gates needs a non-empty input pool")
+    n_layers = max(1, min(n_layers, count))
+    per_layer = [count // n_layers] * n_layers
+    for i in range(count % n_layers):
+        per_layer[i] += 1
+
+    def fresh(index: int) -> str:
+        name = f"{prefix}{index}"
+        while circuit.has_net(name):
+            index += 1
+            name = f"{prefix}{index}"
+        return name
+
+    layers: List[List[str]] = []
+    produced: List[str] = []
+    counter = 0
+    for layer_index, size in enumerate(per_layer):
+        local_pool: List[str] = []
+        for back in range(1, window + 1):
+            if layer_index - back >= 0:
+                local_pool.extend(layers[layer_index - back])
+        this_layer: List[str] = []
+        for _ in range(size):
+            kind, arity = _pick_kind(rng, mix)
+            chosen: List[str] = []
+            attempts = 0
+            while len(chosen) < arity and attempts < 50:
+                attempts += 1
+                if not local_pool or rng.random() < pi_bias:
+                    candidate = rng.choice(base_pool)
+                else:
+                    candidate = rng.choice(local_pool)
+                if candidate not in chosen:
+                    chosen.append(candidate)
+            if len(chosen) < arity:
+                kind, chosen = "INV", [rng.choice(base_pool)]
+            name = fresh(counter)
+            counter += 1
+            circuit.add_gate(name, kind, chosen)
+            this_layer.append(name)
+            produced.append(name)
+        layers.append(this_layer)
+    return produced
+
+
+def collect_dangling_and_calibrate(
+    circuit: Circuit,
+    target_gates: int,
+    rng: random.Random,
+    pool: Sequence[str],
+    candidates: Optional[Sequence[str]] = None,
+) -> str:
+    """Absorb dangling nets into one XOR-tree PO and hit the exact count.
+
+    ``candidates`` restricts which dangling nets are collected (used by
+    padding so it never touches the host circuit's nets); extra tree
+    leaves are 2-input gates over ``pool``.  Returns the new output net.
+    """
+    if candidates is None:
+        candidates = circuit.gate_names()
+    candidate_set = set(candidates)
+    pool = list(pool)
+
+    def current_dangling() -> List[str]:
+        return [
+            name
+            for name in sorted(candidate_set)
+            if circuit.has_net(name)
+            and not circuit.fanouts(name)
+            and not circuit.is_output(name)
+        ]
+
+    # When the pending XOR-collection tree would blow the budget, trim
+    # dangling work gates (safe: nothing consumes them) until it fits.
+    dangling = current_dangling()
+    while dangling:
+        deficit = target_gates - circuit.n_gates - (len(dangling) - 1)
+        if deficit >= 0:
+            break
+        victim = dangling[-1]
+        circuit.remove_gate(victim)
+        candidate_set.discard(victim)
+        dangling = current_dangling()
+
+    def fresh(prefix: str, start: int) -> Tuple[str, int]:
+        index = start
+        while circuit.has_net(f"{prefix}{index}"):
+            index += 1
+        return f"{prefix}{index}", index + 1
+
+    counter = 0
+    leaves = list(dangling)
+    if not leaves:
+        name, counter = fresh("x", counter)
+        circuit.add_gate(name, "INV", [rng.choice(pool)])
+        leaves = [name]
+    deficit = target_gates - circuit.n_gates - (len(leaves) - 1)
+    if deficit < 0:
+        raise ValueError(
+            f"{circuit.name}: cannot calibrate, {-deficit} gates over budget"
+        )
+    extra_leaves = deficit // 2  # each leaf costs a work gate + a tree node
+    for _ in range(extra_leaves):
+        kind = rng.choice(["NAND", "NOR", "AND", "OR"])
+        if len(pool) >= 2:
+            picks = rng.sample(pool, 2)
+        else:
+            kind, picks = "INV", [pool[0]]
+        name, counter = fresh("x", counter)
+        circuit.add_gate(name, kind, picks)
+        leaves.append(name)
+    while len(leaves) > 1:
+        nxt: List[str] = []
+        for i in range(0, len(leaves) - 1, 2):
+            name, counter = fresh("xt", counter)
+            circuit.add_gate(name, "XOR", [leaves[i], leaves[i + 1]])
+            nxt.append(name)
+        if len(leaves) % 2:
+            nxt.append(leaves[-1])
+        leaves = nxt
+    root = leaves[0]
+    while circuit.n_gates < target_gates:
+        name, counter = fresh("xt", counter)
+        circuit.add_gate(name, "INV", [root])
+        root = name
+    circuit.add_output(root)
+    if circuit.n_gates != target_gates:
+        raise AssertionError(
+            f"{circuit.name}: calibration produced {circuit.n_gates} gates, "
+            f"wanted {target_gates}"
+        )
+    return root
+
+
+def generate(spec: RandomLogicSpec, library: Optional[CellLibrary] = None) -> Circuit:
+    """Build the circuit described by ``spec``; gate count is exact."""
+    if spec.n_gates < spec.n_outputs + 2:
+        raise ValueError(f"{spec.name}: gate budget below output count")
+    rng = random.Random(spec.seed)
+    circuit = Circuit(spec.name, library)
+    inputs = circuit.add_inputs(f"pi{i}" for i in range(spec.n_inputs))
+
+    work_budget = max(0, int(spec.n_gates * 0.82) - spec.n_outputs)
+    produced = grow_layered_gates(
+        circuit,
+        work_budget,
+        rng,
+        inputs,
+        spec.layer_count(),
+        prefix="g",
+        pi_bias=spec.pi_bias,
+        window=spec.window,
+        mix=spec.mix,
+    )
+
+    # Declared outputs: sample from the deeper half of produced nets.
+    candidates = produced[len(produced) // 2 :] or list(inputs)
+    chosen: List[str] = []
+    for _ in range(spec.n_outputs):
+        pick = rng.choice(candidates)
+        attempts = 0
+        while pick in chosen and attempts < 50:
+            pick = rng.choice(candidates)
+            attempts += 1
+        if pick in chosen:
+            pick = rng.choice(inputs)
+        chosen.append(pick)
+    for i, net in enumerate(chosen):
+        circuit.add_gate(f"po{i}", "BUF", [net])
+        circuit.add_output(f"po{i}")
+
+    collect_dangling_and_calibrate(circuit, spec.n_gates, rng, inputs)
+    circuit.validate()
+    if circuit.n_gates != spec.n_gates:
+        raise AssertionError(
+            f"{spec.name}: generated {circuit.n_gates} gates, "
+            f"wanted {spec.n_gates}"
+        )
+    return circuit

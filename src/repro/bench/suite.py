@@ -1,0 +1,203 @@
+"""The paper's benchmark suite, reconstructed (Table II circuits).
+
+Each entry builds a deterministic stand-in circuit calibrated to the gate
+count the paper reports in Table II's "Gate Count (original)" column.
+Architecturally documented circuits use the structural generators; the
+MCNC two-level/random-logic benchmarks use the calibrated random-logic
+generator.  See DESIGN.md §2–3 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cells.library import CellLibrary
+from ..netlist.circuit import Circuit
+from .generators import (
+    array_multiplier,
+    pad_to_gate_count,
+    priority_controller,
+    sec_network,
+    simple_alu,
+)
+from .random_logic import RandomLogicSpec, generate
+
+#: Paper Table II reference values (per circuit): original gate count,
+#: area, delay, power, fingerprint locations, log2 combinations and the
+#: three overhead percentages.  Used by the harness to print side-by-side
+#: paper-vs-measured comparisons.
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "C432": dict(gates=166, area=269584, delay=9.49, power=1349.5,
+                 locations=40, log2_combos=68.07,
+                 area_oh=11.19, delay_oh=54.69, power_oh=6.05),
+    "C499": dict(gates=409, area=662128, delay=7.62, power=2951.6,
+                 locations=112, log2_combos=177.16,
+                 area_oh=9.25, delay_oh=31.23, power_oh=10.00),
+    "C880": dict(gates=255, area=426880, delay=6.95, power=2068.0,
+                 locations=38, log2_combos=66.58,
+                 area_oh=6.52, delay_oh=47.05, power_oh=5.86),
+    "C1355": dict(gates=412, area=668160, delay=7.67, power=2988.2,
+                  locations=118, log2_combos=187.36,
+                  area_oh=9.86, delay_oh=30.38, power_oh=9.44),
+    "C1908": dict(gates=395, area=635216, delay=10.66, power=2655.4,
+                  locations=88, log2_combos=151.25,
+                  area_oh=11.40, delay_oh=46.53, power_oh=11.92),
+    "C3540": dict(gates=851, area=1469488, delay=11.64, power=7242.3,
+                  locations=179, log2_combos=376.79,
+                  area_oh=10.10, delay_oh=50.52, power_oh=9.46),
+    "C6288": dict(gates=3056, area=4797760, delay=32.92, power=float("nan"),
+                  locations=420, log2_combos=635.26,
+                  area_oh=6.29, delay_oh=34.33, power_oh=float("nan")),
+    "des": dict(gates=3544, area=5831552, delay=6.64, power=23145.3,
+                locations=782, log2_combos=1438.62,
+                area_oh=11.87, delay_oh=75.00, power_oh=8.13),
+    "k2": dict(gates=1206, area=2039280, delay=5.82, power=5482.4,
+               locations=241, log2_combos=470.25,
+               area_oh=13.36, delay_oh=78.87, power_oh=8.64),
+    "t481": dict(gates=826, area=1478768, delay=6.49, power=4188.1,
+                 locations=178, log2_combos=418.62,
+                 area_oh=13.49, delay_oh=74.42, power_oh=7.08),
+    "i10": dict(gates=1600, area=2676816, delay=12.65, power=9729.9,
+                locations=316, log2_combos=601.15,
+                area_oh=9.85, delay_oh=48.70, power_oh=9.03),
+    "i8": dict(gates=1211, area=2273600, delay=4.73, power=9621.6,
+               locations=235, log2_combos=541.13,
+               area_oh=9.45, delay_oh=67.44, power_oh=10.63),
+    "dalu": dict(gates=836, area=1383184, delay=10.1, power=5275.0,
+                 locations=298, log2_combos=507.57,
+                 area_oh=15.97, delay_oh=47.13, power_oh=21.45),
+    "vda": dict(gates=635, area=1088080, delay=4.51, power=3270.4,
+                locations=134, log2_combos=277.42,
+                area_oh=14.24, delay_oh=58.98, power_oh=9.75),
+}
+
+#: Paper Table III: average results of the reactive delay heuristic.
+PAPER_TABLE3: Dict[str, Dict[str, float]] = {
+    "10%": dict(constraint=0.10, fp_reduction=49.00, area_oh=5.04,
+                delay_oh=9.42, power_oh=4.99),
+    "5%": dict(constraint=0.05, fp_reduction=64.30, area_oh=3.57,
+               delay_oh=4.44, power_oh=2.46),
+    "1%": dict(constraint=0.01, fp_reduction=81.03, area_oh=2.40,
+               delay_oh=0.41, power_oh=2.65),
+}
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """How to build one suite circuit."""
+
+    name: str
+    target_gates: int
+    style: str  # "structural" | "random"
+    builder: Callable[[Optional[CellLibrary]], Circuit]
+
+
+def _structural(base_builder, target: int, seed: int):
+    def build(library: Optional[CellLibrary] = None) -> Circuit:
+        circuit = base_builder(library)
+        return pad_to_gate_count(circuit, target, seed=seed)
+
+    return build
+
+
+def _random(name: str, n_inputs: int, n_outputs: int, target: int, seed: int):
+    def build(library: Optional[CellLibrary] = None) -> Circuit:
+        spec = RandomLogicSpec(
+            name=name,
+            n_inputs=n_inputs,
+            n_outputs=n_outputs,
+            n_gates=target,
+            seed=seed,
+        )
+        return generate(spec, library)
+
+    return build
+
+
+def _specs() -> Dict[str, BenchmarkSpec]:
+    entries = [
+        BenchmarkSpec(
+            "C432", 166, "structural",
+            _structural(lambda lib: priority_controller(27, name="C432", library=lib), 166, 432),
+        ),
+        BenchmarkSpec(
+            "C499", 409, "structural",
+            _structural(lambda lib: sec_network(32, name="C499", library=lib), 409, 499),
+        ),
+        BenchmarkSpec(
+            "C880", 255, "structural",
+            _structural(lambda lib: simple_alu(8, name="C880", library=lib), 255, 880),
+        ),
+        BenchmarkSpec(
+            "C1355", 412, "structural",
+            _structural(
+                lambda lib: sec_network(16, name="C1355", expand_xor=True, library=lib),
+                412, 1355,
+            ),
+        ),
+        BenchmarkSpec(
+            "C1908", 395, "structural",
+            _structural(
+                lambda lib: sec_network(16, name="C1908", expand_xor=False, library=lib),
+                395, 1908,
+            ),
+        ),
+        BenchmarkSpec("C3540", 851, "random", _random("C3540", 50, 22, 851, 3540)),
+        BenchmarkSpec(
+            "C6288", 3056, "structural",
+            _structural(lambda lib: array_multiplier(16, name="C6288", library=lib), 3056, 6288),
+        ),
+        BenchmarkSpec("des", 3544, "random", _random("des", 256, 245, 3544, 1977)),
+        BenchmarkSpec("k2", 1206, "random", _random("k2", 45, 45, 1206, 2)),
+        BenchmarkSpec("t481", 826, "random", _random("t481", 16, 1, 826, 481)),
+        BenchmarkSpec("i10", 1600, "random", _random("i10", 257, 224, 1600, 10)),
+        BenchmarkSpec("i8", 1211, "random", _random("i8", 133, 81, 1211, 8)),
+        BenchmarkSpec(
+            "dalu", 836, "structural",
+            _structural(lambda lib: simple_alu(16, name="dalu", library=lib), 836, 75),
+        ),
+        BenchmarkSpec("vda", 635, "random", _random("vda", 17, 39, 635, 100)),
+    ]
+    return {spec.name: spec for spec in entries}
+
+
+SPECS: Dict[str, BenchmarkSpec] = _specs()
+
+#: Table II row order.
+SUITE_ORDER: Tuple[str, ...] = (
+    "C432", "C499", "C880", "C1355", "C1908", "C3540", "C6288",
+    "des", "k2", "t481", "i10", "i8", "dalu", "vda",
+)
+
+#: Circuits small enough for quick tests and CI-style runs.
+SMALL_SUITE: Tuple[str, ...] = ("C432", "C880", "C499", "vda")
+
+
+def benchmark_names() -> List[str]:
+    """Suite circuit names in Table II order."""
+    return list(SUITE_ORDER)
+
+
+def build_benchmark(name: str, library: Optional[CellLibrary] = None) -> Circuit:
+    """Build one suite circuit by its paper name."""
+    try:
+        spec = SPECS[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; see benchmark_names()")
+    circuit = spec.builder(library)
+    if circuit.n_gates != spec.target_gates:
+        raise AssertionError(
+            f"{name}: built {circuit.n_gates} gates, spec says {spec.target_gates}"
+        )
+    return circuit
+
+
+def build_suite(
+    names: Optional[Tuple[str, ...]] = None,
+    library: Optional[CellLibrary] = None,
+) -> Dict[str, Circuit]:
+    """Build several suite circuits (default: the full Table II suite)."""
+    return {
+        name: build_benchmark(name, library) for name in (names or SUITE_ORDER)
+    }

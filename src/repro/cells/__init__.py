@@ -1,0 +1,46 @@
+"""Gate semantics and technology cell libraries."""
+
+from . import functions
+from .functions import (
+    ALL_KINDS,
+    CONST_KINDS,
+    MULTI_KINDS,
+    UNARY_KINDS,
+    UnknownGateKindError,
+    base_operator,
+    controlled_output,
+    controlling_value,
+    evaluate,
+    evaluate_bits,
+    has_odc,
+    identity_value,
+    is_inverting,
+    truth_table,
+)
+from .generic_lib import GENERIC_LIB, generic_cells, generic_library
+from .library import Cell, CellLibrary, CellNotFoundError, build_library
+
+__all__ = [
+    "ALL_KINDS",
+    "CONST_KINDS",
+    "MULTI_KINDS",
+    "UNARY_KINDS",
+    "UnknownGateKindError",
+    "base_operator",
+    "controlled_output",
+    "controlling_value",
+    "evaluate",
+    "evaluate_bits",
+    "has_odc",
+    "identity_value",
+    "is_inverting",
+    "truth_table",
+    "GENERIC_LIB",
+    "generic_cells",
+    "generic_library",
+    "Cell",
+    "CellLibrary",
+    "CellNotFoundError",
+    "build_library",
+    "functions",
+]

@@ -1,0 +1,209 @@
+"""Boolean semantics of the primitive gate kinds used throughout the library.
+
+Every gate in a :class:`~repro.cells.library.CellLibrary` refers to one of the
+*kinds* defined here ("AND", "NOR", "INV", ...).  A kind fixes the Boolean
+function for any arity it supports; the cell merely adds physical attributes
+(area, delay, power).
+
+The functions operate on plain Python ints *or* numpy integer arrays used as
+bit-parallel words, which is what the logic simulator feeds them.  All
+word-level operations are masked by callers; here we only combine words.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+Word = Union[int, np.ndarray]
+
+#: Gate kinds with a fixed single-input arity.
+UNARY_KINDS = ("INV", "BUF")
+
+#: Gate kinds that accept two or more inputs.
+MULTI_KINDS = ("AND", "OR", "NAND", "NOR", "XOR", "XNOR")
+
+#: Constant generators (zero inputs).
+CONST_KINDS = ("CONST0", "CONST1")
+
+ALL_KINDS = UNARY_KINDS + MULTI_KINDS + CONST_KINDS
+
+
+class UnknownGateKindError(ValueError):
+    """Raised when a gate kind string is not one of :data:`ALL_KINDS`."""
+
+
+def _require_kind(kind: str) -> None:
+    if kind not in ALL_KINDS:
+        raise UnknownGateKindError(f"unknown gate kind {kind!r}")
+
+
+def arity_range(kind: str) -> tuple:
+    """Return the ``(min_inputs, max_inputs)`` a kind supports semantically.
+
+    The physical library may restrict arity further; this is the *logical*
+    range.  ``max_inputs`` is ``None`` for unbounded kinds.
+    """
+    _require_kind(kind)
+    if kind in CONST_KINDS:
+        return (0, 0)
+    if kind in UNARY_KINDS:
+        return (1, 1)
+    return (2, None)
+
+
+def validate_arity(kind: str, n_inputs: int) -> None:
+    """Raise ``ValueError`` when ``n_inputs`` is not legal for ``kind``."""
+    lo, hi = arity_range(kind)
+    if n_inputs < lo or (hi is not None and n_inputs > hi):
+        raise ValueError(f"gate kind {kind} cannot take {n_inputs} inputs")
+
+
+def evaluate(kind: str, inputs: Sequence[Word]) -> Word:
+    """Evaluate ``kind`` over bitwise words (ints or numpy arrays).
+
+    Inverting kinds return the bitwise complement, so integer callers must
+    mask the result to their word width; the simulator does this once per
+    gate evaluation.
+    """
+    _require_kind(kind)
+    validate_arity(kind, len(inputs))
+    if kind == "CONST0":
+        return 0
+    if kind == "CONST1":
+        return ~0
+    if kind == "BUF":
+        return inputs[0]
+    if kind == "INV":
+        return ~inputs[0]
+    acc = inputs[0]
+    if kind in ("AND", "NAND"):
+        for word in inputs[1:]:
+            acc = acc & word
+        return ~acc if kind == "NAND" else acc
+    if kind in ("OR", "NOR"):
+        for word in inputs[1:]:
+            acc = acc | word
+        return ~acc if kind == "NOR" else acc
+    # XOR / XNOR
+    for word in inputs[1:]:
+        acc = acc ^ word
+    return ~acc if kind == "XNOR" else acc
+
+
+def evaluate_bits(kind: str, bits: Sequence[int]) -> int:
+    """Evaluate ``kind`` over single 0/1 bits and return 0 or 1."""
+    return evaluate(kind, list(bits)) & 1
+
+
+def truth_table(kind: str, n_inputs: int) -> int:
+    """Return the truth table of ``kind`` at ``n_inputs`` as a bitmask.
+
+    Bit ``r`` of the result is the output for the input assignment whose
+    integer encoding is ``r`` (input ``i`` holds bit ``i`` of ``r``).
+    """
+    validate_arity(kind, n_inputs)
+    table = 0
+    for row in range(1 << n_inputs):
+        bits = [(row >> i) & 1 for i in range(n_inputs)]
+        if evaluate_bits(kind, bits) if n_inputs else evaluate(kind, []) & 1:
+            table |= 1 << row
+    return table
+
+
+#: Input value that forces the gate output irrespective of other inputs,
+#: or ``None`` when the kind has no controlling value (XOR family, buffers).
+_CONTROLLING: Dict[str, Optional[int]] = {
+    "AND": 0,
+    "NAND": 0,
+    "OR": 1,
+    "NOR": 1,
+    "XOR": None,
+    "XNOR": None,
+    "INV": None,
+    "BUF": None,
+    "CONST0": None,
+    "CONST1": None,
+}
+
+#: Output value produced when some input is at the controlling value.
+_CONTROLLED_OUTPUT: Dict[str, Optional[int]] = {
+    "AND": 0,
+    "NAND": 1,
+    "OR": 1,
+    "NOR": 0,
+}
+
+#: Input value under which the gate output is independent of that input
+#: (the identity element of the gate's operator).
+_IDENTITY: Dict[str, Optional[int]] = {
+    "AND": 1,
+    "NAND": 1,
+    "OR": 0,
+    "NOR": 0,
+    "XOR": 0,
+    "XNOR": 0,
+    "INV": None,
+    "BUF": None,
+    "CONST0": None,
+    "CONST1": None,
+}
+
+_INVERTING = frozenset(("INV", "NAND", "NOR", "XNOR"))
+
+
+def controlling_value(kind: str) -> Optional[int]:
+    """Input value that fixes the output regardless of the other inputs."""
+    _require_kind(kind)
+    return _CONTROLLING[kind]
+
+
+def controlled_output(kind: str) -> Optional[int]:
+    """Output value when any input sits at the controlling value."""
+    _require_kind(kind)
+    return _CONTROLLED_OUTPUT.get(kind)
+
+
+def identity_value(kind: str) -> Optional[int]:
+    """Input value that never affects the output (operator identity)."""
+    _require_kind(kind)
+    return _IDENTITY[kind]
+
+
+def is_inverting(kind: str) -> bool:
+    """True when the kind complements its operator's natural output."""
+    _require_kind(kind)
+    return kind in _INVERTING
+
+
+def has_odc(kind: str, n_inputs: int) -> bool:
+    """True when the kind produces a non-zero ODC for its inputs (Eq. 1).
+
+    A gate input has a non-empty Observability Don't Care set exactly when
+    the gate's Boolean difference w.r.t. that input is not a tautology.
+    For the standard kinds this reduces to having a controlling value: AND,
+    OR, NAND and NOR gates with two or more inputs create ODCs, while XOR,
+    XNOR, INV and BUF never do (their outputs are always sensitive to every
+    input).
+    """
+    _require_kind(kind)
+    return controlling_value(kind) is not None and n_inputs >= 2
+
+
+def base_operator(kind: str) -> Optional[str]:
+    """Return the non-inverting operator underlying ``kind``.
+
+    ``NAND -> AND``, ``NOR -> OR``, ``XNOR -> XOR``; non-inverting kinds map
+    to themselves and unary/constant kinds to ``None``.
+    """
+    _require_kind(kind)
+    mapping = {
+        "AND": "AND",
+        "NAND": "AND",
+        "OR": "OR",
+        "NOR": "OR",
+        "XOR": "XOR",
+        "XNOR": "XOR",
+    }
+    return mapping.get(kind)

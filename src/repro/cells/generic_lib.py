@@ -1,0 +1,81 @@
+"""The default generic standard-cell library.
+
+Calibrated so that mapped benchmark circuits land in the same magnitude range
+as the paper's Table II numbers (areas of ~1.6e3 units per gate, critical
+paths of a few ns, power in the hundreds-to-thousands range).  The exact
+values are not the point — the paper reports *relative* overheads — but a
+realistic spread between cell sizes is, because the fingerprinting overhead
+derives from widening cells and adding inverters.
+
+The library follows the MCNC genlib conventions loosely: NAND/NOR are the
+cheap workhorses, AND/OR pay an extra inversion, XOR/XNOR are the largest
+two-input cells, and every extra input adds area, capacitance and delay.
+"""
+
+from __future__ import annotations
+
+from .library import Cell, CellLibrary, build_library
+
+#: Area of one grid unit; all cell areas are multiples of this.
+_UNIT = 464.0
+
+
+def _cell(
+    name: str,
+    kind: str,
+    n_inputs: int,
+    units: float,
+    tpd: float,
+    load: float = 0.055,
+) -> Cell:
+    return Cell(
+        name=name,
+        kind=kind,
+        n_inputs=n_inputs,
+        area=units * _UNIT,
+        intrinsic_delay=tpd,
+        load_delay=load,
+        input_cap=1.0 + 0.12 * (n_inputs - 1),
+        switch_energy=0.55 * units + 0.35 * n_inputs,
+        leakage=0.01 * units,
+    )
+
+
+def generic_cells() -> list:
+    """The cell set of the generic library."""
+    cells = [
+        _cell("INV", "INV", 1, 2.0, 0.12),
+        _cell("BUF", "BUF", 1, 3.0, 0.18),
+        _cell("NAND2", "NAND", 2, 3.0, 0.18),
+        _cell("NAND3", "NAND", 3, 4.0, 0.24),
+        _cell("NAND4", "NAND", 4, 5.0, 0.31),
+        _cell("NAND5", "NAND", 5, 6.0, 0.39),
+        _cell("NOR2", "NOR", 2, 3.0, 0.20),
+        _cell("NOR3", "NOR", 3, 4.0, 0.28),
+        _cell("NOR4", "NOR", 4, 5.0, 0.37),
+        _cell("NOR5", "NOR", 5, 6.0, 0.47),
+        _cell("AND2", "AND", 2, 4.0, 0.23),
+        _cell("AND3", "AND", 3, 5.0, 0.29),
+        _cell("AND4", "AND", 4, 6.0, 0.36),
+        _cell("AND5", "AND", 5, 7.0, 0.44),
+        _cell("OR2", "OR", 2, 4.0, 0.25),
+        _cell("OR3", "OR", 3, 5.0, 0.33),
+        _cell("OR4", "OR", 4, 6.0, 0.42),
+        _cell("OR5", "OR", 5, 7.0, 0.52),
+        _cell("XOR2", "XOR", 2, 5.0, 0.30),
+        _cell("XOR3", "XOR", 3, 7.0, 0.42),
+        _cell("XNOR2", "XNOR", 2, 5.0, 0.30),
+        _cell("XNOR3", "XNOR", 3, 7.0, 0.42),
+        _cell("ZERO", "CONST0", 0, 1.0, 0.0),
+        _cell("ONE", "CONST1", 0, 1.0, 0.0),
+    ]
+    return cells
+
+
+def generic_library() -> CellLibrary:
+    """Build a fresh instance of the default library."""
+    return build_library("generic45", generic_cells())
+
+
+#: Shared read-only default library instance.
+GENERIC_LIB = generic_library()

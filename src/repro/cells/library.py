@@ -1,0 +1,167 @@
+"""Technology cell library: physical attributes attached to gate kinds.
+
+A :class:`Cell` binds a gate *kind* (Boolean behaviour, see
+:mod:`repro.cells.functions`) at a fixed arity to physical data used by the
+area, timing and power models: cell area, intrinsic propagation delay, a
+load-dependent delay coefficient, input capacitance and switching energy.
+
+The :class:`CellLibrary` is the lookup service used by the technology mapper
+(choosing cells for decomposed logic) and by the fingerprinting engine
+(deciding whether a gate can be *widened* by one input to absorb an ODC
+trigger signal — the paper's feasibility "lookup table").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from . import functions
+
+
+class CellNotFoundError(KeyError):
+    """Raised when no cell matches a requested (kind, arity) query."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell.
+
+    Attributes:
+        name: Unique cell name, e.g. ``"NAND3"``.
+        kind: Gate kind string defining the Boolean function.
+        n_inputs: Number of inputs this cell provides.
+        area: Cell area in library area units (lambda^2 style).
+        intrinsic_delay: Input-to-output delay at zero load, in ns.
+        load_delay: Additional delay per unit of fanout load, in ns.
+        input_cap: Capacitive load this cell presents to each driver.
+        switch_energy: Energy per output transition (arbitrary energy units).
+        leakage: Static power (arbitrary power units).
+    """
+
+    name: str
+    kind: str
+    n_inputs: int
+    area: float
+    intrinsic_delay: float
+    load_delay: float
+    input_cap: float = 1.0
+    switch_energy: float = 1.0
+    leakage: float = 0.0
+
+    def __post_init__(self) -> None:
+        functions.validate_arity(self.kind, self.n_inputs)
+        if self.area < 0 or self.intrinsic_delay < 0 or self.load_delay < 0:
+            raise ValueError(f"cell {self.name}: physical attributes must be >= 0")
+
+    @property
+    def has_odc(self) -> bool:
+        """True when this cell's inputs have non-empty ODC sets (Eq. 1)."""
+        return functions.has_odc(self.kind, self.n_inputs)
+
+
+@dataclass
+class CellLibrary:
+    """A named collection of cells with kind/arity indexing."""
+
+    name: str
+    _cells: Dict[str, Cell] = field(default_factory=dict)
+    _by_signature: Dict[Tuple[str, int], Cell] = field(default_factory=dict)
+
+    def add(self, cell: Cell) -> None:
+        """Register ``cell``; kind+arity signatures must be unique."""
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate cell name {cell.name!r}")
+        signature = (cell.kind, cell.n_inputs)
+        if signature in self._by_signature:
+            raise ValueError(f"duplicate cell signature {signature!r}")
+        self._cells[cell.name] = cell
+        self._by_signature[signature] = cell
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell(self, name: str) -> Cell:
+        """Return the cell named ``name``."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise CellNotFoundError(f"no cell named {name!r} in library {self.name}")
+
+    def find(self, kind: str, n_inputs: int) -> Cell:
+        """Return the cell implementing ``kind`` at exactly ``n_inputs``."""
+        try:
+            return self._by_signature[(kind, n_inputs)]
+        except KeyError:
+            raise CellNotFoundError(
+                f"library {self.name} has no {n_inputs}-input {kind} cell"
+            )
+
+    def try_find(self, kind: str, n_inputs: int) -> Optional[Cell]:
+        """Like :meth:`find` but returns ``None`` instead of raising."""
+        return self._by_signature.get((kind, n_inputs))
+
+    def kinds(self) -> List[str]:
+        """All gate kinds with at least one cell, sorted."""
+        return sorted({cell.kind for cell in self._cells.values()})
+
+    def max_arity(self, kind: str) -> int:
+        """Largest input count available for ``kind`` (0 when absent)."""
+        arities = [c.n_inputs for c in self._cells.values() if c.kind == kind]
+        return max(arities) if arities else 0
+
+    def arities(self, kind: str) -> List[int]:
+        """Sorted list of input counts available for ``kind``."""
+        return sorted(c.n_inputs for c in self._cells.values() if c.kind == kind)
+
+    def widened(self, cell: Cell, extra: int = 1) -> Optional[Cell]:
+        """Return the same-kind cell with ``extra`` more inputs, if any.
+
+        This is the feasibility query of the paper's modification lookup
+        table: adding an ODC trigger literal to a gate requires a library
+        cell of the same kind with one (or two, for the Fig. 5 pair reroute)
+        more inputs.
+        """
+        return self.try_find(cell.kind, cell.n_inputs + extra)
+
+    def inverter_widenings(self) -> List[Cell]:
+        """Cells usable to widen an inverter by one input.
+
+        ``INV(a) == NAND2(a, L)`` when the added literal ``L`` is 1, and
+        ``INV(a) == NOR2(a, L)`` when ``L`` is 0; both absorb an ODC trigger
+        into a single-input gate (Definition 1, criterion 3).
+        """
+        options = []
+        for kind in ("NAND", "NOR"):
+            cell = self.try_find(kind, 2)
+            if cell is not None:
+                options.append(cell)
+        return options
+
+    def odc_cells(self) -> List[Cell]:
+        """Cells whose inputs have non-zero ODC conditions (paper Table I)."""
+        return [cell for cell in self._cells.values() if cell.has_odc]
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-cell summary."""
+        lines = [f"library {self.name}: {len(self)} cells"]
+        for cell in sorted(self._cells.values(), key=lambda c: (c.kind, c.n_inputs)):
+            lines.append(
+                f"  {cell.name:<8} kind={cell.kind:<5} inputs={cell.n_inputs} "
+                f"area={cell.area:<8g} tpd={cell.intrinsic_delay:g}+{cell.load_delay:g}/fo"
+            )
+        return "\n".join(lines)
+
+
+def build_library(name: str, cells: Iterable[Cell]) -> CellLibrary:
+    """Construct a :class:`CellLibrary` from an iterable of cells."""
+    library = CellLibrary(name)
+    for cell in cells:
+        library.add(cell)
+    return library

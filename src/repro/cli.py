@@ -1,0 +1,261 @@
+"""Command-line front end — the paper's "circuit modifier" as a tool.
+
+Subcommands::
+
+    repro-fp locations <design>                 list fingerprint locations
+    repro-fp embed <design> --value N -o out.v  emit one fingerprint copy
+    repro-fp embed <design> --buyer NAME ...    buyer-keyed copy
+    repro-fp extract <suspect> --golden <design>  read a fingerprint back
+    repro-fp verify <left> <right>              equivalence check
+    repro-fp measure <design>                   area / delay / power
+    repro-fp audit <design>                     verify every variant (CEC)
+    repro-fp bench <name> [-o out.v]            emit a suite circuit
+    repro-fp tables [quick|medium|full]         regenerate paper tables
+
+Designs are read by extension: ``.blif`` files are parsed and technology
+mapped (the ABC-replacement path of the paper's flow); ``.v`` files are
+read as structural Verilog over the generic library.  All commands are
+deterministic, so ``extract`` can rebuild the golden design's location
+catalog instead of needing a side-channel database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .analysis import measure
+from .bench import (
+    build_benchmark,
+    render_figure7,
+    render_table2,
+    render_table3,
+    run_figure7,
+    run_table2,
+    run_table3,
+    suite_for_budget,
+)
+from .fingerprint import (
+    BuyerRegistry,
+    FingerprintCodec,
+    capacity,
+    embed,
+    extract,
+    find_locations,
+)
+from .netlist import Circuit, read_blif, read_verilog, save_verilog
+from .sim import check_equivalence
+from .techmap import map_network
+
+
+def load_design(path: str) -> Circuit:
+    """Read a design file (.blif is parsed and mapped; .v is structural)."""
+    if path.endswith(".blif"):
+        return map_network(read_blif(path))
+    if path.endswith(".v"):
+        return read_verilog(path)
+    raise SystemExit(f"unsupported design extension: {path!r} (.blif or .v)")
+
+
+def _cmd_locations(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    catalog = find_locations(design)
+    report = capacity(catalog)
+    print(f"design {design.name}: {design.n_gates} gates")
+    print(
+        f"{report.n_locations} locations, {report.n_slots} slots, "
+        f"{report.n_variants} variants, {report.bits:.2f} bits"
+    )
+    if args.verbose:
+        for location in catalog:
+            slots = ", ".join(
+                f"{s.target}[{len(s.variants)}v]" for s in location.slots
+            )
+            print(
+                f"  loc {location.id}: primary={location.primary} "
+                f"root={location.ffc_root} trigger={location.trigger} "
+                f"slots: {slots}"
+            )
+    return 0
+
+
+def _cmd_embed(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    catalog = find_locations(design)
+    codec = FingerprintCodec(catalog)
+    if codec.combinations < 2:
+        raise SystemExit("design offers no fingerprint locations")
+    if args.buyer is not None:
+        registry = BuyerRegistry(catalog, seed=args.seed)
+        record = registry.register(args.buyer)
+        value = record.value
+    else:
+        value = args.value % codec.combinations
+    copy = embed(design, catalog, codec.encode(value))
+    if args.verify:
+        verdict = check_equivalence(design, copy.circuit)
+        if not verdict.equivalent:
+            raise SystemExit("internal error: embedding broke functionality")
+        print(f"verified equivalent ({'exhaustive' if verdict.complete else 'random'})")
+    print(f"embedded fingerprint value {value} "
+          f"({copy.n_active} modifications)")
+    if args.output:
+        save_verilog(copy.circuit, args.output)
+        print(f"wrote {args.output}")
+    else:
+        from .netlist import write_verilog
+
+        sys.stdout.write(write_verilog(copy.circuit))
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    golden = load_design(args.golden)
+    suspect = load_design(args.suspect)
+    catalog = find_locations(golden)
+    codec = FingerprintCodec(catalog)
+    if args.structural:
+        from .fingerprint import extract_structural
+
+        result = extract_structural(suspect, golden, catalog)
+    else:
+        result = extract(suspect, golden, catalog)
+    value = codec.decode(result.assignment)
+    print(f"fingerprint value: {value}")
+    if result.tampered:
+        print(f"WARNING: {len(result.tampered)} tampered slots: "
+              f"{', '.join(result.tampered[:8])}")
+        return 2
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    left = load_design(args.left)
+    right = load_design(args.right)
+    result = check_equivalence(left, right)
+    kind = "exhaustive" if result.complete else f"random({result.n_vectors})"
+    if result.equivalent:
+        print(f"EQUIVALENT ({kind})")
+        return 0
+    print(f"NOT equivalent ({kind}); counterexample on {result.output}:")
+    print(f"  {result.counterexample}")
+    return 1
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    if args.full:
+        from .analysis import design_report
+
+        print(design_report(design))
+        return 0
+    metrics = measure(design)
+    print(f"design: {metrics.name}")
+    print(f"gates:  {metrics.gates}")
+    print(f"depth:  {metrics.depth}")
+    print(f"area:   {metrics.area:.0f}")
+    print(f"delay:  {metrics.delay:.3f}")
+    print(f"power:  {metrics.power:.1f}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .fingerprint import audit_catalog
+
+    design = load_design(args.design)
+    catalog = find_locations(design)
+    report = audit_catalog(design, catalog, max_variants=args.max_variants)
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  FAILED: slot {failure.target} variant {failure.variant_index}")
+    return 0 if report.clean else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    circuit = build_benchmark(args.name)
+    print(f"{args.name}: {circuit.n_gates} gates, depth {circuit.depth()}")
+    if args.output:
+        save_verilog(circuit, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    names = suite_for_budget(args.budget)
+    print(f"suite: {', '.join(names)}\n")
+    print(render_table2(run_table2(names)))
+    print()
+    table3_rows = run_table3(names)
+    print(render_table3(table3_rows))
+    print()
+    print(render_figure7(run_figure7(names, table3_rows=table3_rows)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fp",
+        description="ODC circuit fingerprinting (Dunbar & Qu, DAC 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("locations", help="list fingerprint locations")
+    p.add_argument("design")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_locations)
+
+    p = sub.add_parser("embed", help="emit one fingerprinted copy")
+    p.add_argument("design")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--value", type=int, help="fingerprint integer")
+    group.add_argument("--buyer", help="buyer name (keyed fingerprint)")
+    p.add_argument("-o", "--output", help="output Verilog path")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-verify", dest="verify", action="store_false")
+    p.set_defaults(func=_cmd_embed)
+
+    p = sub.add_parser("extract", help="read a fingerprint from a suspect")
+    p.add_argument("suspect")
+    p.add_argument("--golden", required=True)
+    p.add_argument("--structural", action="store_true",
+                   help="rename-robust extraction (needs a twin-free golden)")
+    p.set_defaults(func=_cmd_extract)
+
+    p = sub.add_parser("verify", help="combinational equivalence check")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("measure", help="area / delay / power of a design")
+    p.add_argument("design")
+    p.add_argument("--full", action="store_true",
+                   help="full structural/timing/power/fingerprint report")
+    p.set_defaults(func=_cmd_measure)
+
+    p = sub.add_parser("audit", help="formally verify every variant")
+    p.add_argument("design")
+    p.add_argument("--max-variants", type=int, default=None)
+    p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser("bench", help="emit a suite benchmark circuit")
+    p.add_argument("name")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables")
+    p.add_argument("budget", nargs="?", default=None,
+                   choices=[None, "quick", "medium", "full"])
+    p.set_defaults(func=_cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""ODC-based circuit fingerprinting — the paper's core contribution."""
+
+from .modifications import (
+    Literal,
+    Slot,
+    Variant,
+    direct_variants,
+    reroute_variants,
+    slot_variants,
+)
+from .locations import (
+    FinderOptions,
+    FingerprintLocation,
+    LocationCatalog,
+    find_locations,
+)
+from .embed import (
+    EmbeddingError,
+    FingerprintedCircuit,
+    embed,
+    full_assignment,
+    representative_slots,
+)
+from .capacity import CapacityReport, FingerprintCodec, capacity
+from .extract import ExtractionResult, extract, fingerprints_distinct
+from .constraints import (
+    ConstraintResult,
+    proactive_delay_constrain,
+    reactive_constrain,
+    reactive_delay_constrain,
+)
+from .signature import (
+    BuyerRecord,
+    BuyerRegistry,
+    RedundantCodec,
+    RegistryFullError,
+    buyer_payload,
+)
+from .collusion import (
+    CollusionOutcome,
+    TraceReport,
+    collude,
+    colluders_traced,
+    trace,
+)
+from .fuses import (
+    UNPROGRAMMED,
+    FuseError,
+    FuseProductionLine,
+    FuseProgrammableDesign,
+)
+from .audit import AuditReport, VariantVerdict, audit_catalog
+from .structural import extract_structural, match_nets, rename_to_golden
+from .sdc import (
+    SdcCatalog,
+    SdcCodec,
+    SdcFingerprint,
+    SdcSlot,
+    find_sdc_slots,
+    observed_patterns,
+    sdc_embed,
+    sdc_extract,
+)
+
+__all__ = [
+    "Literal",
+    "Slot",
+    "Variant",
+    "direct_variants",
+    "reroute_variants",
+    "slot_variants",
+    "FinderOptions",
+    "FingerprintLocation",
+    "LocationCatalog",
+    "find_locations",
+    "EmbeddingError",
+    "FingerprintedCircuit",
+    "embed",
+    "full_assignment",
+    "representative_slots",
+    "CapacityReport",
+    "FingerprintCodec",
+    "capacity",
+    "ExtractionResult",
+    "extract",
+    "fingerprints_distinct",
+    "ConstraintResult",
+    "proactive_delay_constrain",
+    "reactive_constrain",
+    "reactive_delay_constrain",
+    "BuyerRecord",
+    "BuyerRegistry",
+    "RedundantCodec",
+    "RegistryFullError",
+    "buyer_payload",
+    "CollusionOutcome",
+    "TraceReport",
+    "collude",
+    "colluders_traced",
+    "trace",
+    "UNPROGRAMMED",
+    "FuseError",
+    "FuseProductionLine",
+    "FuseProgrammableDesign",
+    "AuditReport",
+    "VariantVerdict",
+    "audit_catalog",
+    "extract_structural",
+    "match_nets",
+    "rename_to_golden",
+    "SdcCatalog",
+    "SdcCodec",
+    "SdcFingerprint",
+    "SdcSlot",
+    "find_sdc_slots",
+    "observed_patterns",
+    "sdc_embed",
+    "sdc_extract",
+]

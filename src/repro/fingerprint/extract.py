@@ -1,0 +1,114 @@
+"""Fingerprint extraction from a suspect netlist (paper §III.E).
+
+The IP owner holds the golden design and the location catalog; extraction
+compares each slot's target gate in the suspect against the original and
+recognizes which variant (if any) is present.  This is the "trivial for
+the designer" direction of the paper's security analysis — and it works on
+a verbatim copy of the netlist, which is exactly the heredity requirement:
+copying the design copies the fingerprint.
+
+Tampered slots (structures matching no variant) are reported rather than
+guessed, supporting the collusion-tracing workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.circuit import Circuit, NetlistError
+from .locations import LocationCatalog
+from .modifications import Slot, Variant, inverter_index, realized_signature
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """Outcome of reading a suspect circuit's fingerprint."""
+
+    assignment: Dict[str, int]
+    tampered: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """True when every slot decoded to a known configuration."""
+        return not self.tampered
+
+
+def _observed_key(
+    suspect: Circuit, base: Circuit, net: str
+) -> Optional[Tuple[str, str]]:
+    """Realized-literal key of one added input (see ``realized_signature``).
+
+    A net of the original design reads as ``("net", net)``; a net absent
+    from the base reads as ``("inv", source)`` when it is a fresh inverter
+    of an original net; anything else is unrecognizable (tampering).
+    """
+    if base.has_net(net):
+        return ("net", net)
+    driver = suspect.driver(net)
+    if driver is not None and driver.kind == "INV" and base.has_net(driver.inputs[0]):
+        return ("inv", driver.inputs[0])
+    return None
+
+
+def _match_variant(
+    suspect: Circuit,
+    base: Circuit,
+    slot: Slot,
+    original_inputs: Tuple[str, ...],
+    inverters: Dict[str, str],
+) -> Optional[int]:
+    """Identify the variant realized at ``slot.target``; None = tampered."""
+    try:
+        gate = suspect.gate(slot.target)
+    except NetlistError:
+        return None
+    if gate.kind == slot.target_kind and gate.inputs == original_inputs:
+        return 0
+    if tuple(gate.inputs[: len(original_inputs)]) != original_inputs:
+        return None
+    extra = gate.inputs[len(original_inputs):]
+    observed_keys = []
+    for net in extra:
+        key = _observed_key(suspect, base, net)
+        if key is None:
+            return None
+        observed_keys.append(key)
+    observed = (gate.kind, tuple(sorted(observed_keys)))
+    for index, variant in enumerate(slot.variants, start=1):
+        if observed == realized_signature(base, variant, inverters):
+            return index
+    return None
+
+
+def extract(
+    suspect: Circuit,
+    base: Circuit,
+    catalog: LocationCatalog,
+) -> ExtractionResult:
+    """Read the fingerprint configuration out of ``suspect``.
+
+    ``base`` is the golden (unfingerprinted) design the catalog was built
+    on.  Slots whose structure matches no known configuration are listed
+    in ``tampered`` and reported as configuration 0.
+    """
+    assignment: Dict[str, int] = {}
+    tampered: List[str] = []
+    targets = frozenset(slot.target for slot in catalog.slots())
+    inverters = inverter_index(base, excluded=targets)
+    for slot in catalog.slots():
+        original = base.gate(slot.target)
+        matched = _match_variant(suspect, base, slot, original.inputs, inverters)
+        if matched is None:
+            tampered.append(slot.target)
+            assignment[slot.target] = 0
+        else:
+            assignment[slot.target] = matched
+    return ExtractionResult(assignment=assignment, tampered=tuple(tampered))
+
+
+def fingerprints_distinct(
+    left: ExtractionResult, right: ExtractionResult
+) -> bool:
+    """True when two extracted fingerprints differ in some slot."""
+    return left.assignment != right.assignment

@@ -1,0 +1,163 @@
+"""Post-silicon fuse programming of fingerprints (paper §VI).
+
+The paper's conclusion proposes making the method practical by fabricating
+*identical* ICs that carry every candidate fingerprint connection, then
+solidifying each die's fingerprint after fabrication — e.g. "using fuses
+as the connections for the added lines so we can decide which ones are
+active".
+
+:class:`FuseProgrammableDesign` models exactly that object: a master
+design whose slots are all manufactured with their candidate connections
+present, plus a write-once fuse map.  Programming a slot burns its fuse to
+one variant (or to "open", permanently disconnecting the spare input);
+burnt fuses cannot be re-programmed — the defining property of the
+post-silicon flow, enforced here.  ``materialize()`` returns the concrete
+netlist the programmed die realizes, which is bit-identical to what
+:func:`repro.fingerprint.embed.embed` produces for the same assignment, so
+all analyses (equivalence, extraction, tracing) apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netlist.circuit import Circuit
+from .capacity import FingerprintCodec
+from .embed import FingerprintedCircuit
+from .locations import LocationCatalog
+
+
+class FuseError(RuntimeError):
+    """Illegal fuse operation (re-programming, unknown slot/variant)."""
+
+
+#: Fuse state sentinel: not yet programmed (still flexible).
+UNPROGRAMMED = None
+
+
+@dataclass
+class FuseProgrammableDesign:
+    """One die of the pre-fingerprinted master design.
+
+    Every slot starts UNPROGRAMMED (the die is identical to every other
+    die off the line).  :meth:`program` burns one slot's fuse; a value of
+    0 burns the spare connection open (the unmodified configuration), a
+    value of ``i >= 1`` selects variant ``i``.  Fuses are write-once.
+    """
+
+    base: Circuit
+    catalog: LocationCatalog
+    die_id: str = "die0"
+    _fuse_state: Dict[str, Optional[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for slot in self.catalog.slots():
+            self._fuse_state.setdefault(slot.target, UNPROGRAMMED)
+
+    # ------------------------------------------------------------------ #
+    # fuse operations
+    # ------------------------------------------------------------------ #
+
+    def state(self, target: str) -> Optional[int]:
+        """Fuse state of one slot (None while unprogrammed)."""
+        try:
+            return self._fuse_state[target]
+        except KeyError:
+            raise FuseError(f"no fuse for slot {target!r}")
+
+    @property
+    def programmed(self) -> bool:
+        """True when every fuse has been burnt."""
+        return all(v is not UNPROGRAMMED for v in self._fuse_state.values())
+
+    @property
+    def flexible_slots(self) -> List[str]:
+        """Slots whose fuses are still intact."""
+        return [t for t, v in self._fuse_state.items() if v is UNPROGRAMMED]
+
+    def program(self, target: str, configuration: int) -> None:
+        """Burn one slot's fuse to ``configuration`` (write-once)."""
+        current = self.state(target)
+        if current is not UNPROGRAMMED:
+            raise FuseError(
+                f"{self.die_id}: fuse of slot {target!r} already burnt "
+                f"to {current}"
+            )
+        slot = self.catalog.slot_by_target(target)
+        if not 0 <= configuration <= len(slot.variants):
+            raise FuseError(
+                f"{self.die_id}: slot {target!r} has no configuration "
+                f"{configuration}"
+            )
+        self._fuse_state[target] = configuration
+
+    def program_assignment(self, assignment: Dict[str, int]) -> None:
+        """Burn every listed fuse; slots absent from the map burn open."""
+        for slot in self.catalog.slots():
+            self.program(slot.target, assignment.get(slot.target, 0))
+
+    def program_value(self, value: int) -> None:
+        """Burn the whole die to one point of the fingerprint space."""
+        codec = FingerprintCodec(self.catalog)
+        self.program_assignment(codec.encode(value))
+
+    # ------------------------------------------------------------------ #
+    # realization
+    # ------------------------------------------------------------------ #
+
+    def materialize(self, name: Optional[str] = None) -> Circuit:
+        """The concrete netlist this die realizes.
+
+        Unprogrammed fuses are treated as open (configuration 0): an
+        unburnt spare connection contributes no logic, so a partially
+        programmed die behaves like the base design at the flexible slots.
+        """
+        copy = FingerprintedCircuit(
+            self.base, self.catalog, name=name or f"{self.base.name}_{self.die_id}"
+        )
+        for target, configuration in self._fuse_state.items():
+            if configuration:
+                copy.apply(target, configuration)
+        copy.circuit.validate()
+        return copy.circuit
+
+    def assignment(self) -> Dict[str, int]:
+        """Current configuration map (unprogrammed slots read 0)."""
+        return {t: (v or 0) for t, v in self._fuse_state.items()}
+
+    def __repr__(self) -> str:
+        burnt = sum(1 for v in self._fuse_state.values() if v is not UNPROGRAMMED)
+        return (
+            f"FuseProgrammableDesign({self.die_id!r}, "
+            f"burnt={burnt}/{len(self._fuse_state)})"
+        )
+
+
+class FuseProductionLine:
+    """Mints dies of one master design and programs them per buyer.
+
+    The pre-silicon step (master design + catalog) happens once; each die
+    off the line is identical until programmed — the cost structure the
+    paper's two-step process is after.
+    """
+
+    def __init__(self, base: Circuit, catalog: LocationCatalog) -> None:
+        self.base = base
+        self.catalog = catalog
+        self.codec = FingerprintCodec(self.catalog)
+        self._minted = 0
+
+    def mint(self) -> FuseProgrammableDesign:
+        """A fresh, unprogrammed die."""
+        die = FuseProgrammableDesign(
+            self.base, self.catalog, die_id=f"die{self._minted}"
+        )
+        self._minted += 1
+        return die
+
+    def produce(self, value: int) -> FuseProgrammableDesign:
+        """Mint and fully program one die to fingerprint ``value``."""
+        die = self.mint()
+        die.program_value(value)
+        return die

@@ -1,0 +1,169 @@
+"""Buyer signatures: mapping IP buyers onto fingerprint configurations.
+
+Provides two encoders on top of the mixed-radix codec:
+
+* :class:`BuyerRegistry` — assigns each buyer a distinct random point of
+  the fingerprint space (distinctness requirement of §I) and remembers the
+  mapping for tracing.
+* :class:`RedundantCodec` — the paper's §V suggestion to spend excess
+  capacity on redundancy: slots are split round-robin into ``copies``
+  groups, every group encodes the same payload, and decoding majority-votes
+  per payload bit.  A collusion attack must scrub a majority of the groups
+  at every bit position to destroy the payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .capacity import FingerprintCodec
+from .locations import LocationCatalog
+from .modifications import Slot
+
+
+@dataclass(frozen=True)
+class BuyerRecord:
+    """One registered buyer and their fingerprint point."""
+
+    buyer: str
+    value: int
+    assignment: Dict[str, int]
+
+
+class RegistryFullError(RuntimeError):
+    """The fingerprint space has been exhausted."""
+
+
+class BuyerRegistry:
+    """Assigns and remembers distinct fingerprints per buyer."""
+
+    def __init__(self, catalog: LocationCatalog, seed: int = 0) -> None:
+        self.codec = FingerprintCodec(catalog)
+        self._rng = random.Random(seed)
+        self._by_buyer: Dict[str, BuyerRecord] = {}
+        self._used_values: set = set()
+
+    def register(self, buyer: str) -> BuyerRecord:
+        """Register ``buyer`` with a fresh random fingerprint."""
+        if buyer in self._by_buyer:
+            return self._by_buyer[buyer]
+        if len(self._used_values) >= self.codec.combinations:
+            raise RegistryFullError("fingerprint space exhausted")
+        while True:
+            value = self._rng.randrange(self.codec.combinations)
+            if value not in self._used_values:
+                break
+        self._used_values.add(value)
+        record = BuyerRecord(buyer, value, self.codec.encode(value))
+        self._by_buyer[buyer] = record
+        return record
+
+    def record(self, buyer: str) -> BuyerRecord:
+        return self._by_buyer[buyer]
+
+    @property
+    def buyers(self) -> List[str]:
+        return list(self._by_buyer)
+
+    def records(self) -> List[BuyerRecord]:
+        return list(self._by_buyer.values())
+
+    def identify(self, assignment: Dict[str, int]) -> Optional[BuyerRecord]:
+        """Exact-match lookup of an extracted assignment."""
+        for record in self._by_buyer.values():
+            if record.assignment == assignment:
+                return record
+        return None
+
+    def score(self, assignment: Dict[str, int]) -> List[Tuple[str, float]]:
+        """Agreement fraction of each buyer with ``assignment``, sorted.
+
+        The score counts matching slots over all slots; exact copies score
+        1.0 and unrelated buyers hover around the chance level.
+        """
+        results = []
+        slots = self.codec.catalog.slots()
+        if not slots:
+            return [(record.buyer, 0.0) for record in self._by_buyer.values()]
+        for record in self._by_buyer.values():
+            matches = sum(
+                1
+                for slot in slots
+                if assignment.get(slot.target, 0) == record.assignment[slot.target]
+            )
+            results.append((record.buyer, matches / len(slots)))
+        results.sort(key=lambda item: (-item[1], item[0]))
+        return results
+
+
+class RedundantCodec:
+    """Repetition-coded payload encoding over the slot space.
+
+    ``payload_bits`` is limited by the smallest group's capacity.  The
+    decoder majority-votes each payload bit across groups, so up to
+    ``(copies - 1) // 2`` corrupted groups per bit are tolerated.
+    """
+
+    def __init__(self, catalog: LocationCatalog, copies: int = 3) -> None:
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        self.catalog = catalog
+        self.copies = copies
+        slots = catalog.slots()
+        self._groups: List[List[Slot]] = [[] for _ in range(copies)]
+        for index, slot in enumerate(slots):
+            self._groups[index % copies].append(slot)
+        self._group_combos = []
+        for group in self._groups:
+            combos = 1
+            for slot in group:
+                combos *= slot.n_configs
+            self._group_combos.append(combos)
+        smallest = min(self._group_combos) if self._group_combos else 1
+        self.payload_bits = max(0, int(math.floor(math.log2(smallest))))
+
+    def encode(self, payload: int) -> Dict[str, int]:
+        """Encode ``payload`` identically into every slot group."""
+        if self.payload_bits == 0:
+            raise ValueError("catalog too small for redundant encoding")
+        if not 0 <= payload < (1 << self.payload_bits):
+            raise ValueError(
+                f"payload {payload} exceeds {self.payload_bits} bits"
+            )
+        assignment: Dict[str, int] = {}
+        for group in self._groups:
+            value = payload
+            for slot in group:
+                value, digit = divmod(value, slot.n_configs)
+                assignment[slot.target] = digit
+        return assignment
+
+    def decode(self, assignment: Dict[str, int]) -> int:
+        """Majority-vote decode of the payload."""
+        votes: List[int] = []
+        for group in self._groups:
+            value = 0
+            for slot in reversed(group):
+                digit = assignment.get(slot.target, 0)
+                digit = min(digit, slot.n_configs - 1)
+                value = value * slot.n_configs + digit
+            votes.append(value & ((1 << self.payload_bits) - 1))
+        payload = 0
+        for bit in range(self.payload_bits):
+            ones = sum((v >> bit) & 1 for v in votes)
+            if 2 * ones > len(votes):
+                payload |= 1 << bit
+        return payload
+
+
+def buyer_payload(buyer: str, payload_bits: int) -> int:
+    """Deterministic payload for a buyer name (hash-truncated)."""
+    digest = hashlib.sha256(buyer.encode()).digest()
+    value = int.from_bytes(digest[:8], "little")
+    if payload_bits >= 64:
+        return value
+    return value & ((1 << payload_bits) - 1)

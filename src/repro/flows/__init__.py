@@ -1,0 +1,5 @@
+"""End-to-end fingerprinting pipelines."""
+
+from .pipeline import FlowResult, fingerprint_flow
+
+__all__ = ["FlowResult", "fingerprint_flow"]

@@ -1,0 +1,290 @@
+"""A small reduced ordered binary decision diagram (ROBDD) package.
+
+Canonical function representation used for medium-size exact equivalence
+checking (beyond the truth-table variable limit) and don't-care reasoning.
+Implements hash-consed nodes, the ``apply`` algorithm with memoization,
+negation, restriction (cofactors), existential quantification, satisfy
+counts and circuit compilation.
+
+This substitutes for the BDD machinery inside industrial tools (SIS/ABC)
+that the paper leans on implicitly when it asserts functional equivalence
+of fingerprinted copies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cells import functions
+from ..netlist.circuit import Circuit
+
+
+class BddError(ValueError):
+    """Raised on ordering violations or capacity overflows."""
+
+
+class Bdd:
+    """A BDD manager with a fixed variable order.
+
+    Nodes are triples ``(level, low, high)`` interned in a unique table and
+    referenced by integer ids; 0 and 1 are the terminal nodes.
+    """
+
+    ZERO = 0
+    ONE = 1
+
+    def __init__(self, variables: Sequence[str], max_nodes: int = 2_000_000) -> None:
+        if len(set(variables)) != len(variables):
+            raise BddError("duplicate variables in order")
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self._level: Dict[str, int] = {v: i for i, v in enumerate(self.variables)}
+        self.max_nodes = max_nodes
+        # node id -> (level, low, high); terminals get sentinel level.
+        self._nodes: List[Tuple[int, int, int]] = [
+            (len(self.variables), 0, 0),
+            (len(self.variables), 1, 1),
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # node plumbing
+    # ------------------------------------------------------------------ #
+
+    def _make(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if len(self._nodes) >= self.max_nodes:
+            raise BddError(f"BDD exceeded {self.max_nodes} nodes")
+        node = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = node
+        return node
+
+    def level_of(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def var(self, name: str) -> int:
+        """BDD for a single variable."""
+        try:
+            level = self._level[name]
+        except KeyError:
+            raise BddError(f"variable {name!r} not in order")
+        return self._make(level, self.ZERO, self.ONE)
+
+    def constant(self, value: int) -> int:
+        return self.ONE if value else self.ZERO
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def not_(self, node: int) -> int:
+        """Negation (computed, not complemented-edge)."""
+        if node == self.ZERO:
+            return self.ONE
+        if node == self.ONE:
+            return self.ZERO
+        cached = self._not_cache.get(node)
+        if cached is not None:
+            return cached
+        level, low, high = self._nodes[node]
+        result = self._make(level, self.not_(low), self.not_(high))
+        self._not_cache[node] = result
+        return result
+
+    def _apply(self, op: str, table: Callable[[int, int], int], a: int, b: int) -> int:
+        if a <= 1 and b <= 1:
+            return table(a, b)
+        key = (op, a, b)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        la, lb = self.level_of(a), self.level_of(b)
+        level = min(la, lb)
+        a_low, a_high = (self._nodes[a][1], self._nodes[a][2]) if la == level else (a, a)
+        b_low, b_high = (self._nodes[b][1], self._nodes[b][2]) if lb == level else (b, b)
+        # Short-circuit on terminal operands for the common operators.
+        if op == "and":
+            if a == self.ZERO or b == self.ZERO:
+                result = self.ZERO
+            elif a == self.ONE:
+                result = b
+            elif b == self.ONE:
+                result = a
+            else:
+                result = self._make(
+                    level,
+                    self._apply(op, table, a_low, b_low),
+                    self._apply(op, table, a_high, b_high),
+                )
+        elif op == "or":
+            if a == self.ONE or b == self.ONE:
+                result = self.ONE
+            elif a == self.ZERO:
+                result = b
+            elif b == self.ZERO:
+                result = a
+            else:
+                result = self._make(
+                    level,
+                    self._apply(op, table, a_low, b_low),
+                    self._apply(op, table, a_high, b_high),
+                )
+        else:
+            result = self._make(
+                level,
+                self._apply(op, table, a_low, b_low),
+                self._apply(op, table, a_high, b_high),
+            )
+        self._apply_cache[key] = result
+        return result
+
+    def and_(self, a: int, b: int) -> int:
+        return self._apply("and", lambda x, y: x & y, a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        return self._apply("or", lambda x, y: x | y, a, b)
+
+    def xor(self, a: int, b: int) -> int:
+        return self._apply("xor", lambda x, y: x ^ y, a, b)
+
+    def apply_many(self, op: str, nodes: Sequence[int]) -> int:
+        """Fold ``op`` in {'and','or','xor'} over a node sequence."""
+        fold = {"and": self.and_, "or": self.or_, "xor": self.xor}[op]
+        acc = nodes[0]
+        for node in nodes[1:]:
+            acc = fold(acc, node)
+        return acc
+
+    def restrict(self, node: int, name: str, value: int) -> int:
+        """Cofactor: fix variable ``name`` to ``value``."""
+        target = self._level[name]
+
+        cache: Dict[int, int] = {}
+
+        def walk(n: int) -> int:
+            if n <= 1 or self.level_of(n) > target:
+                return n
+            hit = cache.get(n)
+            if hit is not None:
+                return hit
+            level, low, high = self._nodes[n]
+            if level == target:
+                result = high if value else low
+            else:
+                result = self._make(level, walk(low), walk(high))
+            cache[n] = result
+            return result
+
+        return walk(node)
+
+    def exists(self, node: int, name: str) -> int:
+        """Existential quantification over one variable."""
+        return self.or_(self.restrict(node, name, 0), self.restrict(node, name, 1))
+
+    def boolean_difference(self, node: int, name: str) -> int:
+        """``dF/dx`` as a BDD."""
+        return self.xor(self.restrict(node, name, 0), self.restrict(node, name, 1))
+
+    def sat_count(self, node: int) -> int:
+        """Number of satisfying assignments over the full variable order."""
+        n_vars = len(self.variables)
+        cache: Dict[int, int] = {}
+
+        def count(n: int, level: int) -> int:
+            # Counts assignments of variables at positions >= `level`.
+            if n == self.ZERO:
+                return 0
+            if n == self.ONE:
+                return 1 << (n_vars - level)
+            node_level, low, high = self._nodes[n]
+            key = n
+            cached = cache.get(key)
+            if cached is None:
+                cached = count(low, node_level + 1) + count(high, node_level + 1)
+                cache[key] = cached
+            skipped = node_level - level
+            return cached << skipped
+
+        return count(node, 0)
+
+    def pick_assignment(self, node: int) -> Optional[Dict[str, int]]:
+        """One satisfying assignment, or ``None`` when unsatisfiable."""
+        if node == self.ZERO:
+            return None
+        assignment: Dict[str, int] = {}
+        current = node
+        while current != self.ONE:
+            level, low, high = self._nodes[current]
+            name = self.variables[level]
+            if low != self.ZERO:
+                assignment[name] = 0
+                current = low
+            else:
+                assignment[name] = 1
+                current = high
+        for name in self.variables:
+            assignment.setdefault(name, 0)
+        return assignment
+
+    def evaluate(self, node: int, assignment: Dict[str, int]) -> int:
+        """Evaluate the function at a full assignment."""
+        current = node
+        while current > 1:
+            level, low, high = self._nodes[current]
+            current = high if assignment[self.variables[level]] else low
+        return current
+
+
+def build_output_bdds(circuit: Circuit, manager: Optional[Bdd] = None) -> Tuple[Bdd, Dict[str, int]]:
+    """Compile a circuit's primary outputs into BDDs.
+
+    Returns the manager and a map ``output net -> BDD node``.  The default
+    variable order is the circuit's primary-input order.
+    """
+    if manager is None:
+        manager = Bdd(circuit.inputs)
+    nodes: Dict[str, int] = {name: manager.var(name) for name in circuit.inputs}
+    for gate in circuit.topological_order():
+        if gate.kind == "CONST0":
+            nodes[gate.name] = manager.ZERO
+            continue
+        if gate.kind == "CONST1":
+            nodes[gate.name] = manager.ONE
+            continue
+        operands = [nodes[n] for n in gate.inputs]
+        if gate.kind == "BUF":
+            nodes[gate.name] = operands[0]
+            continue
+        if gate.kind == "INV":
+            nodes[gate.name] = manager.not_(operands[0])
+            continue
+        base = functions.base_operator(gate.kind)
+        op = {"AND": "and", "OR": "or", "XOR": "xor"}[base]
+        value = manager.apply_many(op, operands)
+        if functions.is_inverting(gate.kind):
+            value = manager.not_(value)
+        nodes[gate.name] = value
+    return manager, {net: nodes[net] for net in circuit.outputs}
+
+
+def bdd_equivalent(left: Circuit, right: Circuit, max_nodes: int = 2_000_000) -> bool:
+    """Exact equivalence of two circuits via a shared BDD manager."""
+    if set(left.inputs) != set(right.inputs):
+        return False
+    if list(left.outputs) != list(right.outputs):
+        return False
+    manager = Bdd(left.inputs, max_nodes=max_nodes)
+    _, left_nodes = build_output_bdds(left, manager)
+    _, right_nodes = build_output_bdds(right, manager)
+    return all(left_nodes[o] == right_nodes[o] for o in left.outputs)

@@ -1,0 +1,131 @@
+"""Exact circuit functions as truth tables (small circuits only).
+
+Computes, for every net of a circuit with at most
+:data:`~repro.logic.truthtable.MAX_VARS` primary inputs, the global Boolean
+function as a :class:`~repro.logic.truthtable.TruthTable` over the primary
+inputs.  This powers exact equivalence checks in tests and the *global*
+observability analysis used to validate the fingerprinting engine's local
+ODC reasoning on sampled circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cells import functions
+from ..netlist.circuit import Circuit
+from .truthtable import MAX_VARS, TruthTable, TruthTableError
+
+
+def net_functions(circuit: Circuit) -> Dict[str, TruthTable]:
+    """Truth table of every net over the circuit's primary inputs."""
+    variables = tuple(circuit.inputs)
+    if len(variables) > MAX_VARS:
+        raise TruthTableError(
+            f"{len(variables)} primary inputs exceed exact-analysis limit"
+        )
+    tables: Dict[str, TruthTable] = {
+        name: TruthTable.variable(name, variables) for name in variables
+    }
+    for gate in circuit.topological_order():
+        if gate.kind == "CONST0":
+            tables[gate.name] = TruthTable.constant(0, variables)
+            continue
+        if gate.kind == "CONST1":
+            tables[gate.name] = TruthTable.constant(1, variables)
+            continue
+        operands = [tables[n] for n in gate.inputs]
+        tables[gate.name] = _apply(gate.kind, operands, variables)
+    return tables
+
+
+def _apply(kind: str, operands: List[TruthTable], variables) -> TruthTable:
+    base = functions.base_operator(kind)
+    if kind == "BUF":
+        return operands[0]
+    if kind == "INV":
+        return ~operands[0]
+    acc = operands[0]
+    for table in operands[1:]:
+        if base == "AND":
+            acc = acc & table
+        elif base == "OR":
+            acc = acc | table
+        else:  # XOR family
+            acc = acc ^ table
+    if functions.is_inverting(kind):
+        acc = ~acc
+    return acc
+
+
+def output_functions(circuit: Circuit) -> Dict[str, TruthTable]:
+    """Truth tables of the primary outputs only."""
+    tables = net_functions(circuit)
+    return {net: tables[net] for net in circuit.outputs}
+
+
+def circuits_equivalent_exact(left: Circuit, right: Circuit) -> bool:
+    """Exact combinational equivalence via truth tables.
+
+    Requires matching input/output port names (order-insensitive) and at
+    most :data:`MAX_VARS` inputs.
+    """
+    if set(left.inputs) != set(right.inputs):
+        return False
+    if list(left.outputs) != list(right.outputs):
+        return False
+    left_tables = output_functions(left)
+    right_tables = output_functions(right)
+    return all(
+        left_tables[net].equivalent(right_tables[net]) for net in left.outputs
+    )
+
+
+def global_observability(circuit: Circuit, net: str) -> TruthTable:
+    """Global observability of ``net``: OR over outputs of ``dF_o/d(net)``.
+
+    The complement of this table is the *global* ODC set of the net — the
+    primary-input assignments under which flipping ``net`` changes no
+    primary output.  Computed by re-simulating the circuit symbolically
+    with ``net`` replaced by a fresh free variable and differencing.
+    """
+    variables = tuple(circuit.inputs)
+    if len(variables) >= MAX_VARS:
+        raise TruthTableError("too many inputs for global observability")
+    if not circuit.has_net(net):
+        raise TruthTableError(f"unknown net {net!r}")
+    extended = variables + ("__free__",)
+    tables: Dict[str, TruthTable] = {
+        name: TruthTable.variable(name, extended) for name in variables
+    }
+    free = TruthTable.variable("__free__", extended)
+    if net in tables:
+        tables[net] = free
+    for gate in circuit.topological_order():
+        if gate.name == net:
+            tables[gate.name] = free
+            continue
+        if gate.kind == "CONST0":
+            tables[gate.name] = TruthTable.constant(0, extended)
+            continue
+        if gate.kind == "CONST1":
+            tables[gate.name] = TruthTable.constant(1, extended)
+            continue
+        operands = [tables[n] for n in gate.inputs]
+        tables[gate.name] = _apply(gate.kind, operands, extended)
+    sensitivity = TruthTable.constant(0, extended)
+    for out in circuit.outputs:
+        sensitivity = sensitivity | tables[out].boolean_difference("__free__")
+    # The result no longer depends on the free variable; restrict to the
+    # original input tuple by cofactoring it away.
+    reduced = sensitivity.cofactor("__free__", 0)
+    bits = 0
+    for row in range(1 << len(variables)):
+        if (reduced.bits >> row) & 1:
+            bits |= 1 << row
+    return TruthTable(variables, bits)
+
+
+def global_odc(circuit: Circuit, net: str) -> TruthTable:
+    """Global ODC set of ``net`` (complement of global observability)."""
+    return ~global_observability(circuit, net)

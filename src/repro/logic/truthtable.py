@@ -1,0 +1,230 @@
+"""Dense truth tables over small variable sets.
+
+A :class:`TruthTable` stores the function as an integer bitmask: bit ``r``
+is the output under the assignment whose integer encoding is ``r``, where
+variable ``i`` (in the table's variable order) contributes bit ``i`` of
+``r``.  This representation supports exact Boolean reasoning — cofactors,
+Boolean difference, tautology/satisfiability — for the local (per-gate and
+per-cone) analyses the ODC fingerprinting method needs.  Sizes are bounded
+by :data:`MAX_VARS` to keep the masks cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cells import functions
+
+#: Largest supported variable count (2**MAX_VARS table rows).
+MAX_VARS = 20
+
+
+class TruthTableError(ValueError):
+    """Variable mismatch or size overflow in truth-table operations."""
+
+
+def _full_mask(n_vars: int) -> int:
+    return (1 << (1 << n_vars)) - 1
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """An immutable Boolean function over an ordered variable tuple."""
+
+    variables: Tuple[str, ...]
+    bits: int
+
+    def __post_init__(self) -> None:
+        if len(self.variables) > MAX_VARS:
+            raise TruthTableError(
+                f"{len(self.variables)} variables exceed MAX_VARS={MAX_VARS}"
+            )
+        if len(set(self.variables)) != len(self.variables):
+            raise TruthTableError("duplicate variables")
+        if self.bits < 0 or self.bits > _full_mask(len(self.variables)):
+            raise TruthTableError("bits out of range for variable count")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def constant(value: int, variables: Sequence[str] = ()) -> "TruthTable":
+        """Constant 0/1 function over the given variables."""
+        variables = tuple(variables)
+        mask = _full_mask(len(variables))
+        return TruthTable(variables, mask if value else 0)
+
+    @staticmethod
+    def variable(name: str, variables: Sequence[str]) -> "TruthTable":
+        """Projection onto one variable of ``variables``."""
+        variables = tuple(variables)
+        index = variables.index(name)
+        bits = 0
+        for row in range(1 << len(variables)):
+            if (row >> index) & 1:
+                bits |= 1 << row
+        return TruthTable(variables, bits)
+
+    @staticmethod
+    def from_kind(kind: str, variables: Sequence[str]) -> "TruthTable":
+        """Truth table of a gate kind applied to ``variables`` in order."""
+        variables = tuple(variables)
+        return TruthTable(variables, functions.truth_table(kind, len(variables)))
+
+    @staticmethod
+    def from_rows(variables: Sequence[str], rows: Iterable[int]) -> "TruthTable":
+        """Build from the set of on-set row indices."""
+        variables = tuple(variables)
+        bits = 0
+        limit = 1 << len(variables)
+        for row in rows:
+            if not 0 <= row < limit:
+                raise TruthTableError(f"row {row} out of range")
+            bits |= 1 << row
+        return TruthTable(variables, bits)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.variables)
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        """Evaluate under a variable->bit assignment."""
+        row = 0
+        for index, var in enumerate(self.variables):
+            if var not in assignment:
+                raise TruthTableError(f"missing assignment for {var!r}")
+            if assignment[var]:
+                row |= 1 << index
+        return (self.bits >> row) & 1
+
+    def is_tautology(self) -> bool:
+        """True when the function is constant 1."""
+        return self.bits == _full_mask(self.n_vars)
+
+    def is_contradiction(self) -> bool:
+        """True when the function is constant 0."""
+        return self.bits == 0
+
+    def on_set_size(self) -> int:
+        """Number of satisfying assignments."""
+        return bin(self.bits).count("1")
+
+    def on_set(self) -> List[Dict[str, int]]:
+        """All satisfying assignments as variable->bit dicts."""
+        result = []
+        for row in range(1 << self.n_vars):
+            if (self.bits >> row) & 1:
+                result.append(
+                    {v: (row >> i) & 1 for i, v in enumerate(self.variables)}
+                )
+        return result
+
+    def depends_on(self, name: str) -> bool:
+        """True when the function is sensitive to variable ``name``."""
+        return not self.boolean_difference(name).is_contradiction()
+
+    def support(self) -> List[str]:
+        """Variables the function actually depends on."""
+        return [v for v in self.variables if self.depends_on(v)]
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+
+    def _aligned(self, other: "TruthTable") -> Tuple["TruthTable", "TruthTable"]:
+        if self.variables == other.variables:
+            return self, other
+        merged = list(self.variables)
+        for var in other.variables:
+            if var not in merged:
+                merged.append(var)
+        return self.extended(merged), other.extended(merged)
+
+    def extended(self, variables: Sequence[str]) -> "TruthTable":
+        """Re-express over a superset/reordering of the variable tuple."""
+        variables = tuple(variables)
+        for var in self.variables:
+            if var not in variables:
+                raise TruthTableError(f"extension drops variable {var!r}")
+        if variables == self.variables:
+            return self
+        positions = [variables.index(v) for v in self.variables]
+        bits = 0
+        for row in range(1 << len(variables)):
+            local = 0
+            for i, pos in enumerate(positions):
+                if (row >> pos) & 1:
+                    local |= 1 << i
+            if (self.bits >> local) & 1:
+                bits |= 1 << row
+        return TruthTable(variables, bits)
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.variables, self.bits ^ _full_mask(self.n_vars))
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        a, b = self._aligned(other)
+        return TruthTable(a.variables, a.bits & b.bits)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        a, b = self._aligned(other)
+        return TruthTable(a.variables, a.bits | b.bits)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        a, b = self._aligned(other)
+        return TruthTable(a.variables, a.bits ^ b.bits)
+
+    def equivalent(self, other: "TruthTable") -> bool:
+        """Semantic equality (over the union of supports)."""
+        a, b = self._aligned(other)
+        return a.bits == b.bits
+
+    # ------------------------------------------------------------------ #
+    # cofactors and Boolean difference
+    # ------------------------------------------------------------------ #
+
+    def cofactor(self, name: str, value: int) -> "TruthTable":
+        """Shannon cofactor with variable ``name`` fixed to ``value``.
+
+        The result keeps the full variable tuple (the fixed variable simply
+        becomes irrelevant), which keeps downstream compositions simple.
+        """
+        index = self.variables.index(name)
+        bits = 0
+        for row in range(1 << self.n_vars):
+            src = (row | (1 << index)) if value else (row & ~(1 << index))
+            if (self.bits >> src) & 1:
+                bits |= 1 << row
+        return TruthTable(self.variables, bits)
+
+    def boolean_difference(self, name: str) -> "TruthTable":
+        """``dF/dx = F_x XOR F_x'`` — sensitivity of F to variable ``name``."""
+        return self.cofactor(name, 1) ^ self.cofactor(name, 0)
+
+    def odc(self, name: str) -> "TruthTable":
+        """Observability Don't Care set w.r.t. ``name`` (paper Eq. 1).
+
+        ``ODC_x = (dF/dx)'``: the assignments (of the remaining variables)
+        under which the value of ``x`` cannot be observed at F.
+        """
+        return ~self.boolean_difference(name)
+
+    def compose(self, name: str, inner: "TruthTable") -> "TruthTable":
+        """Substitute function ``inner`` for variable ``name``.
+
+        Classic function composition: ``F[x := g] = g & F_x | ~g & F_x'``.
+        """
+        f1, g = self.cofactor(name, 1)._aligned(inner)
+        f0 = self.cofactor(name, 0).extended(f1.variables)
+        return (g & f1) | (~g & f0)
+
+    def __str__(self) -> str:
+        rows = 1 << self.n_vars
+        pattern = "".join(str((self.bits >> r) & 1) for r in range(rows))
+        return f"TruthTable({','.join(self.variables)}: {pattern})"

@@ -1,0 +1,72 @@
+"""Netlist data model, graph analyses and file I/O."""
+
+from .circuit import Circuit, Gate, NetlistError
+from .build import CircuitBuilder
+from .graph import (
+    dangling_nets,
+    fanout_free_cone,
+    fanout_histogram,
+    ffc_members,
+    is_single_fanout,
+    output_cone,
+    to_networkx,
+    transitive_fanin,
+    transitive_fanout,
+)
+from .sop import Cube, SopError, SopNetwork, SopNode
+from .blif import BlifError, parse_blif, read_blif, save_blif, write_blif
+from .verilog import (
+    VerilogError,
+    parse_verilog,
+    read_verilog,
+    save_verilog,
+    write_verilog,
+)
+from .transform import (
+    cleanup,
+    eliminate_dead_gates,
+    has_duplicate_gates,
+    merge_duplicate_gates,
+    prefix_nets,
+    propagate_constants,
+    rename_nets,
+    sweep_buffers,
+)
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "NetlistError",
+    "CircuitBuilder",
+    "dangling_nets",
+    "fanout_free_cone",
+    "fanout_histogram",
+    "ffc_members",
+    "is_single_fanout",
+    "output_cone",
+    "to_networkx",
+    "transitive_fanin",
+    "transitive_fanout",
+    "Cube",
+    "SopError",
+    "SopNetwork",
+    "SopNode",
+    "BlifError",
+    "parse_blif",
+    "read_blif",
+    "save_blif",
+    "write_blif",
+    "VerilogError",
+    "parse_verilog",
+    "read_verilog",
+    "save_verilog",
+    "write_verilog",
+    "cleanup",
+    "eliminate_dead_gates",
+    "has_duplicate_gates",
+    "merge_duplicate_gates",
+    "prefix_nets",
+    "propagate_constants",
+    "rename_nets",
+    "sweep_buffers",
+]

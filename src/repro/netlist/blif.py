@@ -1,0 +1,184 @@
+"""Berkeley Logic Interchange Format (BLIF) reader and writer.
+
+The paper's input artefacts are MCNC/ISCAS'85 benchmarks in BLIF.  The
+reader produces a :class:`~repro.netlist.sop.SopNetwork` (BLIF's natural
+semantic model); the technology mapper then lowers it to a gate-level
+:class:`~repro.netlist.circuit.Circuit`.  The writer serializes either form
+back to BLIF so round-trip tests can cover both directions.
+
+Supported constructs: ``.model``, ``.inputs``, ``.outputs``, ``.names``,
+``.end``, comments (``#``) and line continuations (trailing ``\\``).
+Latches and subcircuits are rejected — the fingerprinting method is
+combinational.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from .circuit import Circuit
+from .sop import SopError, SopNetwork
+
+_GATE_COVERS = {
+    "AND": lambda n: [("1" * n, "1")],
+    "NAND": lambda n: [("1" * n, "0")],
+    "OR": lambda n: [("0" * n, "0")],
+    "NOR": lambda n: [("0" * n, "1")],
+    "INV": lambda n: [("0", "1")],
+    "BUF": lambda n: [("1", "1")],
+}
+
+
+class BlifError(ValueError):
+    """Raised for malformed or unsupported BLIF input."""
+
+
+def _logical_lines(text: str) -> Iterable[List[str]]:
+    """Yield token lists with comments stripped and continuations joined."""
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = pending + line
+        pending = ""
+        tokens = line.split()
+        if tokens:
+            yield tokens
+    if pending.split():
+        yield pending.split()
+
+
+def parse_blif(text: str, name: Optional[str] = None) -> SopNetwork:
+    """Parse BLIF ``text`` into a :class:`SopNetwork`."""
+    network: Optional[SopNetwork] = None
+    current: Optional[Tuple[str, List[str]]] = None  # (output, inputs)
+    rows: List[Tuple[str, str]] = []
+
+    def flush() -> None:
+        nonlocal current, rows
+        if current is None:
+            return
+        output, node_inputs = current
+        try:
+            network.add_cover(output, node_inputs, rows)
+        except SopError as exc:
+            raise BlifError(str(exc)) from exc
+        current, rows = None, []
+
+    for tokens in _logical_lines(text):
+        head = tokens[0]
+        if head == ".model":
+            if network is not None:
+                raise BlifError("multiple .model sections are not supported")
+            model_name = tokens[1] if len(tokens) > 1 else (name or "top")
+            network = SopNetwork(name or model_name)
+            continue
+        if network is None:
+            network = SopNetwork(name or "top")
+        if head == ".inputs":
+            flush()
+            network.inputs.extend(tokens[1:])
+        elif head == ".outputs":
+            flush()
+            network.outputs.extend(tokens[1:])
+        elif head == ".names":
+            flush()
+            if len(tokens) < 2:
+                raise BlifError(".names needs at least an output signal")
+            current = (tokens[-1], tokens[1:-1])
+        elif head == ".end":
+            flush()
+            break
+        elif head.startswith("."):
+            raise BlifError(f"unsupported BLIF construct {head!r}")
+        else:
+            if current is None:
+                raise BlifError(f"cover row outside .names: {' '.join(tokens)}")
+            n_inputs = len(current[1])
+            if n_inputs == 0:
+                if len(tokens) != 1 or tokens[0] not in ("0", "1"):
+                    raise BlifError(f"bad constant row {' '.join(tokens)!r}")
+                rows.append(("", tokens[0]))
+            else:
+                if len(tokens) != 2:
+                    raise BlifError(f"bad cover row {' '.join(tokens)!r}")
+                pattern, value = tokens
+                if len(pattern) != n_inputs:
+                    raise BlifError(
+                        f"cover row {pattern!r} arity != {n_inputs}"
+                    )
+                rows.append((pattern, value))
+    if network is None:
+        raise BlifError("empty BLIF input")
+    flush()
+    try:
+        network.validate()
+    except SopError as exc:
+        raise BlifError(str(exc)) from exc
+    return network
+
+
+def read_blif(path: str, name: Optional[str] = None) -> SopNetwork:
+    """Parse a BLIF file from disk."""
+    with open(path) as handle:
+        return parse_blif(handle.read(), name=name)
+
+
+def _node_to_blif(node) -> List[str]:
+    lines = [".names " + " ".join(list(node.inputs) + [node.name])]
+    if node.is_constant:
+        if node.constant_value() == 1:
+            lines.append("1")
+        return lines
+    for cube in node.cubes:
+        lines.append(f"{cube} {node.output_value}")
+    return lines
+
+
+def _gate_cover_rows(gate) -> List[str]:
+    kind = gate.kind
+    n = gate.n_inputs
+    if kind in _GATE_COVERS:
+        return [f"{pattern} {value}" for pattern, value in _GATE_COVERS[kind](n)]
+    if kind in ("XOR", "XNOR"):
+        want = 1 if kind == "XOR" else 0
+        rows = []
+        for row in range(1 << n):
+            bits = [(row >> i) & 1 for i in range(n)]
+            if sum(bits) % 2 == want:
+                rows.append("".join(str(b) for b in bits) + " 1")
+        return rows
+    if kind == "CONST1":
+        return ["1"]
+    if kind == "CONST0":
+        return []
+    raise BlifError(f"cannot serialize gate kind {kind!r} to BLIF")
+
+
+def write_blif(design: Union[SopNetwork, Circuit]) -> str:
+    """Serialize an SOP network or a gate-level circuit to BLIF text."""
+    lines = [f".model {design.name}"]
+    lines.append(".inputs " + " ".join(design.inputs))
+    lines.append(".outputs " + " ".join(design.outputs))
+    if isinstance(design, SopNetwork):
+        for node in design.topological_order():
+            lines.extend(_node_to_blif(node))
+    else:
+        for gate in design.topological_order():
+            lines.append(".names " + " ".join(list(gate.inputs) + [gate.name]))
+            lines.extend(_gate_cover_rows(gate))
+        # Feed-through outputs driven directly by PIs need a buffer node.
+        driven = set(design.gate_names())
+        for net in design.outputs:
+            if net not in driven and design.is_input(net):
+                pass  # PI named as PO is legal BLIF; nothing to emit.
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def save_blif(design: Union[SopNetwork, Circuit], path: str) -> None:
+    """Write BLIF text for ``design`` to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(write_blif(design))

@@ -1,0 +1,171 @@
+"""Sum-of-products logic networks — the form BLIF files describe.
+
+A :class:`SopNetwork` is a technology-independent Boolean network whose
+nodes are single-output SOP covers (the ``.names`` blocks of BLIF).  The
+technology mapper (:mod:`repro.techmap`) lowers such a network onto a cell
+library to produce a gate-level :class:`~repro.netlist.circuit.Circuit`,
+standing in for Berkeley ABC in the paper's flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class SopError(ValueError):
+    """Malformed SOP cover or network structure."""
+
+
+@dataclass(frozen=True)
+class Cube:
+    """One product term: per-input literal in {'0', '1', '-'}."""
+
+    literals: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for lit in self.literals:
+            if lit not in ("0", "1", "-"):
+                raise SopError(f"bad cube literal {lit!r}")
+
+    def matches(self, bits: Sequence[int]) -> bool:
+        """True when the assignment ``bits`` lies inside this cube."""
+        if len(bits) != len(self.literals):
+            raise SopError("cube/assignment arity mismatch")
+        for lit, bit in zip(self.literals, bits):
+            if lit == "1" and not bit:
+                return False
+            if lit == "0" and bit:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return "".join(self.literals)
+
+
+@dataclass
+class SopNode:
+    """A single-output SOP node.
+
+    ``output_value`` follows BLIF: '1' means the cover lists the on-set,
+    '0' means it lists the off-set.  A node with no cubes is constant:
+    on-set covers nothing => constant 0 (and symmetrically constant 1 for
+    off-set covers).
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    cubes: Tuple[Cube, ...]
+    output_value: str = "1"
+
+    def __post_init__(self) -> None:
+        if self.output_value not in ("0", "1"):
+            raise SopError(f"node {self.name}: bad output value")
+        for cube in self.cubes:
+            if len(cube.literals) != len(self.inputs):
+                raise SopError(f"node {self.name}: cube arity mismatch")
+
+    @property
+    def is_constant(self) -> bool:
+        return len(self.inputs) == 0
+
+    def constant_value(self) -> int:
+        """Value of a zero-input node."""
+        if not self.is_constant:
+            raise SopError(f"node {self.name} is not constant")
+        covered = len(self.cubes) > 0
+        if self.output_value == "1":
+            return 1 if covered else 0
+        return 0 if covered else 1
+
+    def evaluate(self, bits: Sequence[int]) -> int:
+        """Evaluate the cover on an input assignment."""
+        if self.is_constant:
+            return self.constant_value()
+        covered = any(cube.matches(bits) for cube in self.cubes)
+        if self.output_value == "1":
+            return 1 if covered else 0
+        return 0 if covered else 1
+
+    def truth_table(self) -> int:
+        """Truth table bitmask over the node's local input space."""
+        table = 0
+        for row in range(1 << len(self.inputs)):
+            bits = [(row >> i) & 1 for i in range(len(self.inputs))]
+            if self.evaluate(bits):
+                table |= 1 << row
+        return table
+
+
+@dataclass
+class SopNetwork:
+    """A DAG of SOP nodes with primary inputs and outputs."""
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    nodes: Dict[str, SopNode] = field(default_factory=dict)
+
+    def add_node(self, node: SopNode) -> SopNode:
+        if node.name in self.nodes or node.name in self.inputs:
+            raise SopError(f"duplicate signal {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def add_cover(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        rows: Iterable[Tuple[str, str]],
+    ) -> SopNode:
+        """Add a node from BLIF-style (cube, value) rows."""
+        rows = list(rows)
+        values = {value for _, value in rows}
+        if len(values) > 1:
+            raise SopError(f"node {name}: mixed on/off-set cover")
+        output_value = values.pop() if values else "1"
+        cubes = tuple(Cube(tuple(pattern)) for pattern, _ in rows)
+        return self.add_node(SopNode(name, tuple(inputs), cubes, output_value))
+
+    def topological_order(self) -> List[SopNode]:
+        """Nodes ordered after all of their fanins; raises on cycles."""
+        in_degree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {}
+        input_set = set(self.inputs)
+        for node in self.nodes.values():
+            count = 0
+            for net in node.inputs:
+                if net in self.nodes:
+                    count += 1
+                    dependents.setdefault(net, []).append(node.name)
+                elif net not in input_set:
+                    raise SopError(f"node {node.name}: undriven input {net!r}")
+            in_degree[node.name] = count
+        ready = [n for n, d in in_degree.items() if d == 0]
+        order: List[SopNode] = []
+        while ready:
+            name = ready.pop()
+            order.append(self.nodes[name])
+            for dep in dependents.get(name, ()):
+                in_degree[dep] -= 1
+                if in_degree[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(self.nodes):
+            raise SopError("cycle in SOP network")
+        return order
+
+    def validate(self) -> None:
+        """Check structure; raises :class:`SopError` on problems."""
+        self.topological_order()
+        signals = set(self.inputs) | set(self.nodes)
+        for net in self.outputs:
+            if net not in signals:
+                raise SopError(f"primary output {net!r} undriven")
+
+    def evaluate(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Evaluate every signal given primary-input values."""
+        values = dict(assignment)
+        for node in self.topological_order():
+            bits = [values[n] for n in node.inputs]
+            values[node.name] = node.evaluate(bits)
+        return values

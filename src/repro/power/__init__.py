@@ -1,0 +1,20 @@
+"""Switching-activity and power estimation."""
+
+from .activity import (
+    propagate_probabilities,
+    simulate_activity,
+    simulated_probabilities,
+    switching_activity,
+)
+from .estimate import POWER_SCALE, PowerReport, estimate_power, total_power
+
+__all__ = [
+    "propagate_probabilities",
+    "simulate_activity",
+    "simulated_probabilities",
+    "switching_activity",
+    "POWER_SCALE",
+    "PowerReport",
+    "estimate_power",
+    "total_power",
+]

@@ -1,0 +1,102 @@
+"""CNF formula container with DIMACS import/export.
+
+Literals follow the DIMACS convention: variables are positive integers,
+a negative integer denotes negation.  The container validates clauses,
+tracks the variable count and supports fresh-variable allocation for the
+Tseitin encoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class CnfError(ValueError):
+    """Malformed clause or DIMACS text."""
+
+
+@dataclass
+class Cnf:
+    """A conjunction of clauses over integer variables."""
+
+    n_vars: int = 0
+    clauses: List[Tuple[int, ...]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.n_vars += 1
+        return self.n_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause; literals must reference allocated variables."""
+        clause = tuple(literals)
+        if not clause:
+            raise CnfError("empty clause added explicitly; formula is UNSAT")
+        for lit in clause:
+            if lit == 0:
+                raise CnfError("literal 0 is not allowed")
+            if abs(lit) > self.n_vars:
+                raise CnfError(f"literal {lit} references unallocated variable")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate under ``assignment`` (index 1..n_vars; index 0 unused)."""
+        if len(assignment) < self.n_vars + 1:
+            raise CnfError("assignment too short")
+        for clause in self.clauses:
+            if not any(
+                assignment[lit] if lit > 0 else not assignment[-lit]
+                for lit in clause
+            ):
+                return False
+        return True
+
+    def to_dimacs(self) -> str:
+        """Serialize in DIMACS CNF format."""
+        lines = [f"p cnf {self.n_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def from_dimacs(text: str) -> "Cnf":
+        """Parse DIMACS CNF text."""
+        cnf: Optional[Cnf] = None
+        pending: List[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise CnfError(f"bad problem line {line!r}")
+                cnf = Cnf(n_vars=int(parts[2]))
+                continue
+            if cnf is None:
+                raise CnfError("clause before problem line")
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    cnf.add_clause(pending)
+                    pending = []
+                else:
+                    pending.append(lit)
+        if cnf is None:
+            raise CnfError("missing problem line")
+        if pending:
+            cnf.add_clause(pending)
+        return cnf

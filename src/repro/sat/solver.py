@@ -1,0 +1,348 @@
+"""A CDCL SAT solver (conflict-driven clause learning), from scratch.
+
+Implements the standard modern architecture: two-watched-literal unit
+propagation, first-UIP conflict analysis with clause learning, VSIDS-style
+activity-based branching with decay, phase saving, non-chronological
+backjumping and Luby-sequence restarts.  It is a real solver — complete and
+sound — sized for the miter instances produced by the combinational
+equivalence checker on circuits of a few thousand gates.
+
+Internal literal encoding: variable ``v`` (1-based) maps to literals
+``2*v`` (positive) and ``2*v + 1`` (negative); ``lit ^ 1`` negates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cnf import Cnf
+
+_UNASSIGNED = -1
+
+
+def _to_internal(lit: int) -> int:
+    var = abs(lit)
+    return 2 * var + (1 if lit < 0 else 0)
+
+
+def _to_external(lit: int) -> int:
+    var = lit >> 1
+    return -var if lit & 1 else var
+
+
+@dataclass
+class SolverStats:
+    """Counters exposed for benchmarks and tests."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned: int = 0
+    restarts: int = 0
+    max_decision_level: int = 0
+
+
+class SatResult:
+    """Outcome of :meth:`CdclSolver.solve`."""
+
+    def __init__(self, satisfiable: bool, model: Optional[Dict[int, bool]], stats: SolverStats):
+        self.satisfiable = satisfiable
+        self.model = model
+        self.stats = stats
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+    def value(self, var: int) -> bool:
+        """Model value of ``var``; only valid when satisfiable."""
+        if self.model is None:
+            raise ValueError("no model: formula is unsatisfiable")
+        return self.model[var]
+
+
+def _luby(x: int) -> int:
+    """The Luby restart sequence (1,1,2,1,1,2,4,...), 0-indexed."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class CdclSolver:
+    """Solve one CNF instance; construct fresh per formula."""
+
+    def __init__(self, cnf: Cnf, restart_base: int = 100) -> None:
+        self.n_vars = cnf.n_vars
+        self.restart_base = restart_base
+        self.stats = SolverStats()
+
+        size = 2 * (self.n_vars + 1)
+        self._clauses: List[List[int]] = []
+        self._watches: List[List[int]] = [[] for _ in range(size)]
+        self._assign: List[int] = [_UNASSIGNED] * (self.n_vars + 1)
+        self._level: List[int] = [0] * (self.n_vars + 1)
+        self._reason: List[Optional[int]] = [None] * (self.n_vars + 1)
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._activity: List[float] = [0.0] * (self.n_vars + 1)
+        self._phase: List[bool] = [False] * (self.n_vars + 1)
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._trivially_unsat = False
+
+        seen_units: List[int] = []
+        for clause in cnf.clauses:
+            internal = [_to_internal(l) for l in dict.fromkeys(clause)]
+            if self._tautological(internal):
+                continue
+            if len(internal) == 1:
+                seen_units.append(internal[0])
+            else:
+                self._add_clause(internal)
+        for lit in seen_units:
+            if not self._enqueue(lit, None):
+                self._trivially_unsat = True
+                return
+
+    @staticmethod
+    def _tautological(clause: Sequence[int]) -> bool:
+        literals = set(clause)
+        return any((lit ^ 1) in literals for lit in literals)
+
+    # ------------------------------------------------------------------ #
+    # clause / assignment plumbing
+    # ------------------------------------------------------------------ #
+
+    def _add_clause(self, literals: List[int]) -> int:
+        index = len(self._clauses)
+        self._clauses.append(literals)
+        self._watches[literals[0]].append(index)
+        self._watches[literals[1]].append(index)
+        return index
+
+    def _lit_value(self, lit: int) -> int:
+        """1 true, 0 false, -1 unassigned."""
+        value = self._assign[lit >> 1]
+        if value == _UNASSIGNED:
+            return -1
+        return value ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        var = lit >> 1
+        value = 1 - (lit & 1)
+        if self._assign[var] != _UNASSIGNED:
+            return self._assign[var] == value
+        self._assign[var] = value
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    # ------------------------------------------------------------------ #
+    # propagation
+    # ------------------------------------------------------------------ #
+
+    def _propagate(self, head: int) -> Tuple[Optional[int], int]:
+        """Unit propagation; returns (conflicting clause index or None, head)."""
+        while head < len(self._trail):
+            lit = self._trail[head]
+            head += 1
+            self.stats.propagations += 1
+            false_lit = lit ^ 1
+            watch_list = self._watches[false_lit]
+            i = 0
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                clause = self._clauses[clause_index]
+                # Normalize: watched literals at positions 0 and 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    i += 1
+                    continue
+                # Find a replacement watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1]].append(clause_index)
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting on `first`.
+                if self._lit_value(first) == 0:
+                    return clause_index, head
+                self._enqueue(first, clause_index)
+                i += 1
+        return None, head
+
+    # ------------------------------------------------------------------ #
+    # conflict analysis
+    # ------------------------------------------------------------------ #
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.n_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict: int) -> Tuple[List[int], int]:
+        """First-UIP learning; returns (learned clause, backjump level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.n_vars + 1)
+        counter = 0
+        pivot = -1  # the literal asserted by the current reason clause
+        clause = self._clauses[conflict]
+        index = len(self._trail)
+        current_level = self._decision_level()
+
+        while True:
+            for l in clause:
+                if l == pivot:
+                    continue
+                var = l >> 1
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(l)
+            # Walk the trail backwards to the next marked literal.
+            while True:
+                index -= 1
+                trail_lit = self._trail[index]
+                if seen[trail_lit >> 1]:
+                    break
+            pivot = trail_lit
+            counter -= 1
+            seen[trail_lit >> 1] = False
+            if counter == 0:
+                break
+            reason = self._reason[trail_lit >> 1]
+            clause = self._clauses[reason]
+        learned[0] = pivot ^ 1
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest level in the clause.
+        levels = sorted((self._level[l >> 1] for l in learned[1:]), reverse=True)
+        back_level = levels[0]
+        # Move one literal of back_level into watch position 1.
+        for k in range(1, len(learned)):
+            if self._level[learned[k] >> 1] == back_level:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, back_level
+
+    def _backjump(self, level: int) -> None:
+        while self._trail_lim and self._decision_level() > level:
+            limit = self._trail_lim.pop()
+            while len(self._trail) > limit:
+                lit = self._trail.pop()
+                var = lit >> 1
+                self._phase[var] = bool(1 - (lit & 1))
+                self._assign[var] = _UNASSIGNED
+                self._reason[var] = None
+
+    def _pick_branch(self) -> Optional[int]:
+        best_var, best_act = 0, -1.0
+        for var in range(1, self.n_vars + 1):
+            if self._assign[var] == _UNASSIGNED and self._activity[var] > best_act:
+                best_var, best_act = var, self._activity[var]
+        if best_var == 0:
+            return None
+        return 2 * best_var + (0 if self._phase[best_var] else 1)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Solve, optionally under external (DIMACS-signed) assumptions."""
+        if self._trivially_unsat:
+            return SatResult(False, None, self.stats)
+        head = 0
+        conflict, head = self._propagate(head)
+        if conflict is not None:
+            return SatResult(False, None, self.stats)
+        root_trail = len(self._trail)
+
+        for external in assumptions:
+            lit = _to_internal(external)
+            if self._lit_value(lit) == 1:
+                continue
+            if self._lit_value(lit) == 0:
+                return SatResult(False, None, self.stats)
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+            conflict, head = self._propagate(head)
+            if conflict is not None:
+                self._backjump(0)
+                return SatResult(False, None, self.stats)
+        assumption_level = self._decision_level()
+
+        conflicts_since_restart = 0
+        restart_limit = self.restart_base * _luby(self.stats.restarts)
+
+        while True:
+            conflict, head = self._propagate(head)
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() <= assumption_level:
+                    self._backjump(0)
+                    return SatResult(False, None, self.stats)
+                learned, back_level = self._analyze(conflict)
+                back_level = max(back_level, assumption_level)
+                self._backjump(back_level)
+                head = len(self._trail)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        return SatResult(False, None, self.stats)
+                else:
+                    index = self._add_clause(learned)
+                    self.stats.learned += 1
+                    self._enqueue(learned[0], index)
+                self._var_inc /= self._var_decay
+                continue
+            if conflicts_since_restart >= restart_limit:
+                self.stats.restarts += 1
+                conflicts_since_restart = 0
+                restart_limit = self.restart_base * _luby(self.stats.restarts)
+                self._backjump(assumption_level)
+                head = len(self._trail)
+                continue
+            lit = self._pick_branch()
+            if lit is None:
+                model = {
+                    var: bool(self._assign[var])
+                    for var in range(1, self.n_vars + 1)
+                }
+                self._backjump(0)
+                return SatResult(True, model, self.stats)
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self._decision_level()
+            )
+            self._enqueue(lit, None)
+
+
+def solve_cnf(cnf: Cnf, assumptions: Sequence[int] = ()) -> SatResult:
+    """Convenience wrapper: build a solver and run it once."""
+    return CdclSolver(cnf).solve(assumptions)

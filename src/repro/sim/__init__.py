@@ -1,0 +1,49 @@
+"""Bit-parallel logic simulation and simulation-based equivalence."""
+
+from .vectors import (
+    MAX_EXHAUSTIVE_INPUTS,
+    WORD_BITS,
+    StimulusError,
+    exhaustive_stimulus,
+    exhaustive_vector_count,
+    n_words,
+    pack_vectors,
+    random_stimulus,
+    vector_of,
+)
+from .simulator import Simulator, count_ones, simulate
+from .observability import (
+    conditional_observability,
+    observability_words,
+    simulated_observability,
+)
+from .equivalence import (
+    EquivalenceResult,
+    PortMismatchError,
+    check_equivalence,
+    exhaustive_equivalent,
+    random_equivalent,
+)
+
+__all__ = [
+    "MAX_EXHAUSTIVE_INPUTS",
+    "WORD_BITS",
+    "StimulusError",
+    "exhaustive_stimulus",
+    "exhaustive_vector_count",
+    "n_words",
+    "pack_vectors",
+    "random_stimulus",
+    "vector_of",
+    "Simulator",
+    "count_ones",
+    "simulate",
+    "conditional_observability",
+    "observability_words",
+    "simulated_observability",
+    "EquivalenceResult",
+    "PortMismatchError",
+    "check_equivalence",
+    "exhaustive_equivalent",
+    "random_equivalent",
+]

@@ -1,0 +1,103 @@
+"""Stimulus generation for the bit-parallel logic simulator.
+
+Vectors are packed 64 per numpy ``uint64`` word: a stimulus is a map from
+primary-input name to an array of words, and bit ``b`` of word ``w`` is the
+input's value in test vector ``w * 64 + b``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+WORD_BITS = 64
+
+#: Canonical low-variable patterns: variable i < 6 has period 2**(i+1).
+_BASE_PATTERNS = (
+    np.uint64(0xAAAAAAAAAAAAAAAA),
+    np.uint64(0xCCCCCCCCCCCCCCCC),
+    np.uint64(0xF0F0F0F0F0F0F0F0),
+    np.uint64(0xFF00FF00FF00FF00),
+    np.uint64(0xFFFF0000FFFF0000),
+    np.uint64(0xFFFFFFFF00000000),
+)
+
+#: Exhaustive simulation is refused above this many primary inputs.
+MAX_EXHAUSTIVE_INPUTS = 24
+
+
+class StimulusError(ValueError):
+    """Raised for malformed stimulus requests."""
+
+
+def n_words(n_vectors: int) -> int:
+    """Words needed to hold ``n_vectors`` packed vectors."""
+    return (n_vectors + WORD_BITS - 1) // WORD_BITS
+
+
+def exhaustive_stimulus(inputs: Sequence[str]) -> Dict[str, np.ndarray]:
+    """All ``2**len(inputs)`` assignments, packed.
+
+    Vector index ``v`` assigns input ``i`` the bit ``(v >> i) & 1``, so the
+    stimulus enumerates assignments in binary counting order.
+    """
+    n = len(inputs)
+    if n > MAX_EXHAUSTIVE_INPUTS:
+        raise StimulusError(
+            f"{n} inputs exceed exhaustive limit {MAX_EXHAUSTIVE_INPUTS}"
+        )
+    words = max(1, (1 << n) // WORD_BITS) if n >= 6 else 1
+    stimulus: Dict[str, np.ndarray] = {}
+    word_index = np.arange(words, dtype=np.uint64)
+    for i, name in enumerate(inputs):
+        if i < 6:
+            pattern = np.full(words, _BASE_PATTERNS[i], dtype=np.uint64)
+        else:
+            select = (word_index >> np.uint64(i - 6)) & np.uint64(1)
+            pattern = np.where(select == 1, np.uint64(0xFFFFFFFFFFFFFFFF), np.uint64(0))
+        stimulus[name] = pattern
+    return stimulus
+
+
+def exhaustive_vector_count(n_inputs: int) -> int:
+    """Number of meaningful vectors in an exhaustive stimulus."""
+    return 1 << n_inputs
+
+
+def random_stimulus(
+    inputs: Sequence[str], n_vectors: int, seed: int = 0
+) -> Dict[str, np.ndarray]:
+    """Uniform random stimulus with ``n_vectors`` packed vectors."""
+    if n_vectors <= 0:
+        raise StimulusError("need at least one vector")
+    rng = np.random.default_rng(seed)
+    words = n_words(n_vectors)
+    stimulus = {}
+    for name in inputs:
+        raw = rng.integers(0, 2**64, size=words, dtype=np.uint64)
+        stimulus[name] = raw
+    return stimulus
+
+
+def vector_of(stimulus: Dict[str, np.ndarray], index: int) -> Dict[str, int]:
+    """Unpack one vector (by global index) into a name->bit dict."""
+    word, bit = divmod(index, WORD_BITS)
+    result = {}
+    for name, words in stimulus.items():
+        if word >= len(words):
+            raise StimulusError(f"vector index {index} out of range")
+        result[name] = int((int(words[word]) >> bit) & 1)
+    return result
+
+
+def pack_vectors(inputs: Sequence[str], vectors: Sequence[Dict[str, int]]) -> Dict[str, np.ndarray]:
+    """Pack explicit per-vector assignments into word arrays."""
+    words = n_words(len(vectors))
+    stimulus = {name: np.zeros(words, dtype=np.uint64) for name in inputs}
+    for index, vector in enumerate(vectors):
+        word, bit = divmod(index, WORD_BITS)
+        for name in inputs:
+            if vector.get(name, 0):
+                stimulus[name][word] |= np.uint64(1) << np.uint64(bit)
+    return stimulus

@@ -1,0 +1,23 @@
+"""Technology mapping of SOP networks onto cell libraries (ABC stand-in)."""
+
+from .mapper import MappingError, TechMapper, map_network
+from .sopmin import (
+    literal_count,
+    merge_distance1,
+    minimize_network,
+    minimize_node,
+    remove_contained_cubes,
+    remove_redundant_cubes,
+)
+
+__all__ = [
+    "MappingError",
+    "TechMapper",
+    "map_network",
+    "literal_count",
+    "merge_distance1",
+    "minimize_network",
+    "minimize_node",
+    "remove_contained_cubes",
+    "remove_redundant_cubes",
+]

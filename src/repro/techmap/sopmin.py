@@ -1,0 +1,214 @@
+"""Two-level SOP minimization (espresso-lite).
+
+A light but real cover minimizer used by the technology mapper before
+decomposition, standing in for the SIS/espresso step of the paper's flow.
+Three classical passes run to a fixed point:
+
+* **single-cube containment** — drop cubes covered by another cube;
+* **distance-1 merge** — combine two cubes differing in exactly one
+  literal position with opposite literals into one cube with a don't-care
+  there (the Quine consensus step restricted to merges, which never grows
+  the cover);
+* **literal expansion** — try raising each care literal to '-' and keep
+  the expansion when the resulting cube stays inside the function's
+  on-set (checked exactly against the node's truth table, so this pass is
+  limited to nodes of bounded support).
+
+The minimizer is exact in preserving the node function (asserted against
+the truth table after every pass) and heuristic in quality, like its
+industrial counterparts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..netlist.sop import Cube, SopNetwork, SopNode
+
+#: Expansion (truth-table) passes are skipped above this support size.
+MAX_EXPAND_INPUTS = 12
+
+
+def _covers(big: Tuple[str, ...], small: Tuple[str, ...]) -> bool:
+    """True when cube ``big`` contains cube ``small``."""
+    for b, s in zip(big, small):
+        if b != "-" and b != s:
+            return False
+    return True
+
+
+def _distance1_merge(a: Tuple[str, ...], b: Tuple[str, ...]) -> Optional[Tuple[str, ...]]:
+    """Merge two cubes differing in exactly one opposing literal."""
+    diff_at = -1
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x == y:
+            continue
+        if x == "-" or y == "-" or diff_at != -1:
+            return None
+        diff_at = i
+    if diff_at == -1:
+        return None  # identical cubes (containment handles those)
+    merged = list(a)
+    merged[diff_at] = "-"
+    return tuple(merged)
+
+
+def remove_contained_cubes(cubes: List[Tuple[str, ...]]) -> List[Tuple[str, ...]]:
+    """Drop duplicates and cubes contained in some other cube."""
+    unique = list(dict.fromkeys(cubes))
+    kept: List[Tuple[str, ...]] = []
+    for i, cube in enumerate(unique):
+        contained = any(
+            j != i and _covers(other, cube) for j, other in enumerate(unique)
+        )
+        if not contained:
+            kept.append(cube)
+    return kept
+
+
+def merge_distance1(cubes: List[Tuple[str, ...]]) -> Tuple[List[Tuple[str, ...]], bool]:
+    """One pass of distance-1 merging; returns (cubes, changed)."""
+    cubes = list(cubes)
+    for i in range(len(cubes)):
+        for j in range(i + 1, len(cubes)):
+            merged = _distance1_merge(cubes[i], cubes[j])
+            if merged is not None:
+                rest = [c for k, c in enumerate(cubes) if k not in (i, j)]
+                return rest + [merged], True
+    return cubes, False
+
+
+def _cube_in_onset(cube: Tuple[str, ...], table: int, n_inputs: int) -> bool:
+    """True when every minterm of ``cube`` satisfies the function."""
+    free = [i for i, lit in enumerate(cube) if lit == "-"]
+    fixed = 0
+    for i, lit in enumerate(cube):
+        if lit == "1":
+            fixed |= 1 << i
+    for combo in range(1 << len(free)):
+        row = fixed
+        for k, position in enumerate(free):
+            if (combo >> k) & 1:
+                row |= 1 << position
+        if not (table >> row) & 1:
+            return False
+    return True
+
+
+def _cube_minterms(cube: Tuple[str, ...]):
+    free = [i for i, lit in enumerate(cube) if lit == "-"]
+    fixed = 0
+    for i, lit in enumerate(cube):
+        if lit == "1":
+            fixed |= 1 << i
+    for combo in range(1 << len(free)):
+        row = fixed
+        for k, position in enumerate(free):
+            if (combo >> k) & 1:
+                row |= 1 << position
+        yield row
+
+
+def remove_redundant_cubes(
+    cubes: List[Tuple[str, ...]], n_inputs: int
+) -> Tuple[List[Tuple[str, ...]], bool]:
+    """Drop cubes fully covered by the *rest* of the cover (irredundant).
+
+    This is the multi-cube redundancy step containment cannot see — e.g.
+    the consensus term ``bc`` in ``ab + a'c + bc``.
+    """
+    cubes = list(cubes)
+    changed = False
+    index = 0
+    while index < len(cubes):
+        others = cubes[:index] + cubes[index + 1:]
+        if others and all(
+            any(_minterm_in_cube(m, other) for other in others)
+            for m in _cube_minterms(cubes[index])
+        ):
+            cubes.pop(index)
+            changed = True
+        else:
+            index += 1
+    return cubes, changed
+
+
+def _minterm_in_cube(row: int, cube: Tuple[str, ...]) -> bool:
+    for i, lit in enumerate(cube):
+        bit = (row >> i) & 1
+        if lit == "1" and not bit:
+            return False
+        if lit == "0" and bit:
+            return False
+    return True
+
+
+def expand_literals(
+    cubes: List[Tuple[str, ...]], table: int, n_inputs: int
+) -> Tuple[List[Tuple[str, ...]], bool]:
+    """Raise literals to '-' where the cube stays inside the on-set."""
+    changed = False
+    expanded: List[Tuple[str, ...]] = []
+    for cube in cubes:
+        cube = list(cube)
+        for position in range(n_inputs):
+            if cube[position] == "-":
+                continue
+            trial = list(cube)
+            trial[position] = "-"
+            if _cube_in_onset(tuple(trial), table, n_inputs):
+                cube = trial
+                changed = True
+        expanded.append(tuple(cube))
+    return expanded, changed
+
+
+def minimize_node(node: SopNode) -> SopNode:
+    """Return a minimized, function-identical copy of ``node``."""
+    if node.is_constant or not node.cubes:
+        return node
+    n_inputs = len(node.inputs)
+    reference = node.truth_table()
+    cubes = [cube.literals for cube in node.cubes]
+
+    while True:
+        cubes = remove_contained_cubes(cubes)
+        cubes, merged = merge_distance1(cubes)
+        expanded = irredundant = False
+        if n_inputs <= MAX_EXPAND_INPUTS:
+            # Expansion reasons over the on-set of the *cover's* polarity.
+            cover_table = reference if node.output_value == "1" else (
+                ((1 << (1 << n_inputs)) - 1) ^ reference
+            )
+            cubes, expanded = expand_literals(cubes, cover_table, n_inputs)
+            cubes, irredundant = remove_redundant_cubes(cubes, n_inputs)
+        if not merged and not expanded and not irredundant:
+            break
+
+    cubes = remove_contained_cubes(cubes)
+    minimized = SopNode(
+        node.name, node.inputs, tuple(Cube(c) for c in cubes), node.output_value
+    )
+    if minimized.truth_table() != reference:
+        raise AssertionError(f"minimization changed node {node.name}")
+    return minimized
+
+
+def minimize_network(network: SopNetwork) -> SopNetwork:
+    """Minimize every node of a network (functions preserved exactly)."""
+    result = SopNetwork(network.name)
+    result.inputs = list(network.inputs)
+    result.outputs = list(network.outputs)
+    for node in network.topological_order():
+        result.add_node(minimize_node(node))
+    result.validate()
+    return result
+
+
+def literal_count(network: SopNetwork) -> int:
+    """Total care literals across all covers (the classic quality metric)."""
+    total = 0
+    for node in network.nodes.values():
+        for cube in node.cubes:
+            total += sum(1 for lit in cube.literals if lit != "-")
+    return total

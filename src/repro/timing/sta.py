@@ -1,0 +1,130 @@
+"""Static timing analysis: arrival, required time, slack, critical path.
+
+Arrival times propagate forward from primary inputs (time 0); required
+times propagate backward from primary outputs, whose required time is the
+circuit's own critical delay (zero-slack critical path convention, as in
+ABC's ``print_stats``).  Slack information drives the paper's *proactive*
+overhead heuristic, which refuses fingerprint modifications that would eat
+more slack than the delay budget allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netlist.circuit import Circuit
+from .delay_models import DEFAULT_DELAY_MODEL, DelayModel
+
+
+@dataclass
+class TimingReport:
+    """Full STA result for one circuit under one delay model."""
+
+    critical_delay: float
+    arrival: Dict[str, float]
+    required: Dict[str, float]
+    gate_delays: Dict[str, float]
+    critical_path: List[str] = field(default_factory=list)
+
+    def slack(self, net: str) -> float:
+        """Required minus arrival time of ``net``."""
+        return self.required[net] - self.arrival[net]
+
+    def slacks(self) -> Dict[str, float]:
+        """Slack of every net."""
+        return {net: self.required[net] - self.arrival[net] for net in self.arrival}
+
+    def worst_slack(self) -> float:
+        """Minimum slack (0.0 under the zero-slack convention)."""
+        return min(self.required[n] - self.arrival[n] for n in self.arrival)
+
+
+def analyze(circuit: Circuit, model: Optional[DelayModel] = None) -> TimingReport:
+    """Run STA and return a :class:`TimingReport`.
+
+    An empty circuit reports zero delay.
+    """
+    model = model if model is not None else DEFAULT_DELAY_MODEL
+    edge_fn = getattr(model, "edge_delay", None)
+    arrival: Dict[str, float] = {net: 0.0 for net in circuit.inputs}
+    gate_delays: Dict[str, float] = {}
+    order = circuit.topological_order()
+    for gate in order:
+        delay = model.gate_delay(circuit, gate)
+        gate_delays[gate.name] = delay
+        if gate.inputs:
+            if edge_fn is None:
+                slowest = max(arrival[n] for n in gate.inputs)
+            else:
+                slowest = max(
+                    arrival[n] + edge_fn(circuit, gate, n) for n in gate.inputs
+                )
+            arrival[gate.name] = delay + slowest
+        else:
+            arrival[gate.name] = delay
+
+    if arrival:
+        output_arrivals = [arrival[n] for n in circuit.outputs if n in arrival]
+        critical = max(output_arrivals) if output_arrivals else max(arrival.values())
+    else:
+        critical = 0.0
+
+    required: Dict[str, float] = {net: critical for net in arrival}
+    for net in circuit.outputs:
+        if net in required:
+            required[net] = min(required[net], critical)
+    for gate in reversed(order):
+        gate_required = required[gate.name]
+        budget = gate_required - gate_delays[gate.name]
+        for net in gate.inputs:
+            slack_budget = budget
+            if edge_fn is not None:
+                slack_budget = budget - edge_fn(circuit, gate, net)
+            if slack_budget < required[net]:
+                required[net] = slack_budget
+
+    critical_path = _trace_critical_path(circuit, arrival, gate_delays, edge_fn)
+    return TimingReport(
+        critical_delay=critical,
+        arrival=arrival,
+        required=required,
+        gate_delays=gate_delays,
+        critical_path=critical_path,
+    )
+
+
+def _trace_critical_path(
+    circuit: Circuit,
+    arrival: Dict[str, float],
+    gate_delays: Dict[str, float],
+    edge_fn=None,
+) -> List[str]:
+    if not arrival:
+        return []
+    outputs = [n for n in circuit.outputs if n in arrival] or list(arrival)
+    current = max(outputs, key=lambda n: arrival[n])
+    path = [current]
+    while True:
+        gate = circuit.driver(current)
+        if gate is None or not gate.inputs:
+            break
+        if edge_fn is None:
+            current = max(gate.inputs, key=lambda n: arrival[n])
+        else:
+            current = max(
+                gate.inputs, key=lambda n: arrival[n] + edge_fn(circuit, gate, n)
+            )
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def critical_delay(circuit: Circuit, model: Optional[DelayModel] = None) -> float:
+    """The circuit's critical-path delay (convenience wrapper)."""
+    return analyze(circuit, model).critical_delay
+
+
+def critical_path_nets(circuit: Circuit, model: Optional[DelayModel] = None) -> List[str]:
+    """Nets on one maximal-delay path, PI side first."""
+    return analyze(circuit, model).critical_path

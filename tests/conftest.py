@@ -1,0 +1,83 @@
+"""Shared fixtures: small reference circuits used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import Circuit, CircuitBuilder
+
+
+@pytest.fixture
+def fig1_circuit() -> Circuit:
+    """The paper's Fig. 1 motivating circuit: F = (A AND B)(C + D).
+
+    Net ``X`` (= AB) feeds only the final AND and is a fanout-free cone;
+    net ``Y`` (= C + D) is the ODC trigger: when Y = 0 the final AND
+    blocks X entirely.
+    """
+    circuit = Circuit("fig1")
+    circuit.add_inputs(["A", "B", "C", "D"])
+    circuit.add_gate("X", "AND", ["A", "B"])
+    circuit.add_gate("Y", "OR", ["C", "D"])
+    circuit.add_gate("F", "AND", ["X", "Y"])
+    circuit.add_output("F")
+    circuit.validate()
+    return circuit
+
+
+@pytest.fixture
+def fig1_modified() -> Circuit:
+    """The paper's Fig. 1 right-hand circuit: X also depends on Y."""
+    circuit = Circuit("fig1_mod")
+    circuit.add_inputs(["A", "B", "C", "D"])
+    circuit.add_gate("Y", "OR", ["C", "D"])
+    circuit.add_gate("X", "AND", ["A", "B", "Y"])
+    circuit.add_gate("F", "AND", ["X", "Y"])
+    circuit.add_output("F")
+    circuit.validate()
+    return circuit
+
+
+@pytest.fixture
+def adder4() -> Circuit:
+    """A 4-bit ripple-carry adder (9 inputs, 5 outputs)."""
+    builder = CircuitBuilder("adder4")
+    a = builder.inputs("a", 4)
+    b = builder.inputs("b", 4)
+    cin = builder.input("cin")
+    sums, carry = builder.ripple_adder(a, b, cin)
+    builder.outputs([f"s{i}" for i in range(4)] + ["cout"])
+    for i, net in enumerate(sums):
+        builder.circuit.add_gate(f"s{i}", "BUF", [net])
+    builder.circuit.add_gate("cout", "BUF", [carry])
+    return builder.done()
+
+
+@pytest.fixture
+def deep_chain() -> Circuit:
+    """A 6-gate inverter/AND chain with one side input per stage."""
+    circuit = Circuit("chain")
+    circuit.add_inputs(["x"] + [f"s{i}" for i in range(3)])
+    circuit.add_gate("n0", "INV", ["x"])
+    circuit.add_gate("n1", "AND", ["n0", "s0"])
+    circuit.add_gate("n2", "INV", ["n1"])
+    circuit.add_gate("n3", "OR", ["n2", "s1"])
+    circuit.add_gate("n4", "NAND", ["n3", "s2"])
+    circuit.add_gate("n5", "INV", ["n4"])
+    circuit.add_output("n5")
+    circuit.validate()
+    return circuit
+
+
+def make_parity(n: int) -> Circuit:
+    """XOR parity tree over ``n`` inputs (helper, not a fixture)."""
+    builder = CircuitBuilder(f"parity{n}")
+    nets = builder.inputs("p", n)
+    root = builder.xor_tree(nets)
+    builder.output(root)
+    return builder.done()
+
+
+@pytest.fixture
+def parity8() -> Circuit:
+    return make_parity(8)

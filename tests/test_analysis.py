@@ -1,0 +1,87 @@
+"""Unit tests for circuit measurement and overhead comparison."""
+
+import pytest
+
+from repro.analysis import Metrics, Overhead, circuit_overhead, measure, overhead, total_area
+
+
+class TestMeasure:
+    def test_fig1_metrics(self, fig1_circuit):
+        metrics = measure(fig1_circuit)
+        assert metrics.name == "fig1"
+        assert metrics.gates == 3
+        assert metrics.depth == 2
+        and2 = fig1_circuit.library.find("AND", 2).area
+        or2 = fig1_circuit.library.find("OR", 2).area
+        assert metrics.area == pytest.approx(2 * and2 + or2)
+        assert metrics.delay > 0
+        assert metrics.power > 0
+
+    def test_total_area(self, fig1_circuit):
+        assert total_area(fig1_circuit) == measure(fig1_circuit).area
+
+    def test_as_dict(self, fig1_circuit):
+        d = measure(fig1_circuit).as_dict()
+        assert set(d) == {"name", "gates", "depth", "area", "delay", "power"}
+
+
+class TestOverhead:
+    def test_identity_overhead_zero(self, fig1_circuit):
+        m = measure(fig1_circuit)
+        oh = overhead(m, m)
+        assert oh.area == 0.0 and oh.delay == 0.0 and oh.power == 0.0
+
+    def test_growth_measured(self, fig1_circuit):
+        before = measure(fig1_circuit)
+        fig1_circuit.replace_gate("X", "AND", ["A", "B", "Y"])
+        after = measure(fig1_circuit)
+        oh = overhead(before, after)
+        assert oh.area > 0
+
+    def test_percentages(self):
+        oh = Overhead(area=0.109, delay=0.505, power=0.094)
+        pct = oh.as_percentages()
+        assert pct["area_pct"] == pytest.approx(10.9)
+        assert pct["delay_pct"] == pytest.approx(50.5)
+        assert pct["power_pct"] == pytest.approx(9.4)
+
+    def test_zero_baseline(self):
+        base = Metrics("z", 0, 0, 0.0, 0.0, 0.0)
+        grown = Metrics("z", 1, 1, 5.0, 0.0, 0.0)
+        oh = overhead(base, grown)
+        assert oh.area == float("inf")
+        assert oh.delay == 0.0
+
+    def test_circuit_overhead_wrapper(self, fig1_circuit, fig1_modified):
+        oh = circuit_overhead(fig1_circuit, fig1_modified)
+        assert oh.area > 0  # the modified copy uses a 3-input AND
+
+
+class TestDesignReport:
+    def test_sections_present(self, fig1_circuit):
+        from repro.analysis import design_report
+
+        text = design_report(fig1_circuit)
+        for fragment in (
+            "design fig1",
+            "gate mix:",
+            "critical delay:",
+            "power:",
+            "fanout:",
+            "fingerprintability:",
+        ):
+            assert fragment in text
+
+    def test_without_fingerprint_section(self, fig1_circuit):
+        from repro.analysis import design_report
+
+        text = design_report(fig1_circuit, include_fingerprint=False)
+        assert "fingerprintability" not in text
+
+    def test_benchmark_report(self):
+        from repro.analysis import design_report
+        from repro.bench import build_benchmark
+
+        text = design_report(build_benchmark("C432"))
+        assert "gates: 166" in text
+        assert "locations" in text

@@ -1,0 +1,112 @@
+"""Tests for SCOAP controllability/observability."""
+
+import pytest
+
+from repro.analysis.testability import INFINITY, controllability, hardest_nets
+from repro.analysis.testability import observability
+from repro.analysis.testability import testability_report as scoap_report
+from repro.netlist import Circuit
+
+
+class TestControllability:
+    def test_primary_inputs(self, fig1_circuit):
+        cc = controllability(fig1_circuit)
+        assert cc["A"] == (1.0, 1.0)
+
+    def test_and_gate(self, fig1_circuit):
+        cc = controllability(fig1_circuit)
+        # X = AND(A, B): CC0 = min(1,1)+1 = 2, CC1 = 1+1+1 = 3.
+        assert cc["X"] == (2.0, 3.0)
+
+    def test_or_gate(self, fig1_circuit):
+        cc = controllability(fig1_circuit)
+        # Y = OR(C, D): CC0 = 1+1+1 = 3, CC1 = min+1 = 2.
+        assert cc["Y"] == (3.0, 2.0)
+
+    def test_deep_and(self, fig1_circuit):
+        cc = controllability(fig1_circuit)
+        # F = AND(X, Y): CC0 = min(2, 3)+1 = 3; CC1 = 3+2+1 = 6.
+        assert cc["F"] == (3.0, 6.0)
+
+    def test_inverter_swaps(self):
+        c = Circuit("inv")
+        c.add_input("a")
+        c.add_gate("n", "INV", ["a"])
+        c.add_output("n")
+        cc = controllability(c)
+        assert cc["n"] == (2.0, 2.0)
+
+    def test_nand_inverts_and(self):
+        c = Circuit("nand")
+        c.add_inputs(["a", "b"])
+        c.add_gate("n", "NAND", ["a", "b"])
+        c.add_output("n")
+        cc = controllability(c)
+        assert cc["n"] == (3.0, 2.0)  # swapped AND numbers
+
+    def test_xor_parity(self):
+        c = Circuit("xor")
+        c.add_inputs(["a", "b"])
+        c.add_gate("x", "XOR", ["a", "b"])
+        c.add_output("x")
+        cc = controllability(c)
+        # even parity (00 or 11): 1+1; odd: 1+1; +1 each.
+        assert cc["x"] == (3.0, 3.0)
+
+    def test_constants(self):
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_gate("one", "CONST1", [])
+        c.add_gate("f", "AND", ["a", "one"])
+        c.add_output("f")
+        cc = controllability(c)
+        assert cc["one"] == (INFINITY, 0.0)
+        assert cc["f"][1] == pytest.approx(2.0)  # a=1 (1) + one=1 (0) + 1
+
+
+class TestObservability:
+    def test_output_is_free(self, fig1_circuit):
+        co = observability(fig1_circuit)
+        assert co["F"] == 0.0
+
+    def test_and_side_input_cost(self, fig1_circuit):
+        co = observability(fig1_circuit)
+        # Observe X through F: set Y=1 (CC1=2), +1 traversal.
+        assert co["X"] == 3.0
+        # Observe Y through F: set X=1 (CC1=3), +1.
+        assert co["Y"] == 4.0
+
+    def test_pi_observability(self, fig1_circuit):
+        co = observability(fig1_circuit)
+        # Observe A: B=1 (1) through X (+1) then X's path (3).
+        assert co["A"] == co["X"] + 1.0 + 1.0
+
+    def test_dead_net_unobservable(self, fig1_circuit):
+        fig1_circuit.add_gate("dead", "INV", ["A"])
+        co = observability(fig1_circuit)
+        assert co["dead"] == INFINITY
+
+    def test_report_and_hardest(self, fig1_circuit):
+        report = scoap_report(fig1_circuit)
+        assert set(report["X"]) == {"cc0", "cc1", "co"}
+        hard = hardest_nets(fig1_circuit, count=3)
+        assert len(hard) == 3
+
+
+class TestAgainstSimulatedObservability:
+    def test_scoap_hard_nets_are_sim_hard(self):
+        """SCOAP's hardest-to-observe nets show below-average simulated
+        observability (coarse sanity cross-check of the two engines)."""
+        from repro.bench import build_benchmark
+        from repro.sim import simulated_observability
+
+        base = build_benchmark("C880")
+        co = observability(base)
+        finite = {n: v for n, v in co.items() if v < INFINITY and base.driver(n)}
+        ranked = sorted(finite, key=lambda n: finite[n])
+        easy = ranked[:15]
+        hard = ranked[-15:]
+        sim = simulated_observability(base, nets=easy + hard, n_vectors=2048)
+        easy_avg = sum(sim[n] for n in easy) / len(easy)
+        hard_avg = sum(sim[n] for n in hard) / len(hard)
+        assert hard_avg <= easy_avg

@@ -1,0 +1,204 @@
+"""Unit tests for the structural benchmark generators."""
+
+import random
+
+import pytest
+
+from repro.bench import (
+    array_multiplier,
+    pad_to_gate_count,
+    priority_controller,
+    sec_network,
+    simple_alu,
+)
+from repro.sim import Simulator, random_stimulus
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [3, 4])
+    def test_products_exhaustive(self, width):
+        circuit = array_multiplier(width)
+        sim = Simulator(circuit)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                assignment = {f"a{i}": (a >> i) & 1 for i in range(width)}
+                assignment.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+                got = sim.run_single(assignment)
+                value = sum(
+                    got[out] << i for i, out in enumerate(circuit.outputs)
+                )
+                assert value == a * b, (a, b)
+
+    def test_wide_random_products(self):
+        circuit = array_multiplier(8)
+        sim = Simulator(circuit)
+        rng = random.Random(1)
+        for _ in range(40):
+            a, b = rng.randrange(256), rng.randrange(256)
+            assignment = {f"a{i}": (a >> i) & 1 for i in range(8)}
+            assignment.update({f"b{i}": (b >> i) & 1 for i in range(8)})
+            got = sim.run_single(assignment)
+            value = sum(got[out] << i for i, out in enumerate(circuit.outputs))
+            assert value == a * b
+
+    def test_nand_texture(self):
+        circuit = array_multiplier(4, nand_adders=True)
+        kinds = {g.kind for g in circuit.gates}
+        assert "NAND" in kinds
+
+    def test_plain_adders_variant(self):
+        circuit = array_multiplier(3, nand_adders=False)
+        sim = Simulator(circuit)
+        got = sim.run_single({"a0": 1, "a1": 1, "b0": 1, "b1": 1})  # 3 * 3
+        value = sum(got[out] << i for i, out in enumerate(circuit.outputs))
+        assert value == 9
+
+
+class TestSecNetwork:
+    @pytest.mark.parametrize("expand", [False, True])
+    def test_corrects_single_errors(self, expand):
+        data_bits = 8
+        circuit = sec_network(data_bits, expand_xor=expand)
+        sim = Simulator(circuit)
+        n_checks = max(2, data_bits.bit_length())
+        rng = random.Random(2)
+        for _ in range(10):
+            word = rng.randrange(1 << data_bits)
+            # compute correct check bits: parity of each group
+            checks = []
+            for c in range(n_checks):
+                parity = 0
+                for d in range(data_bits):
+                    if ((d + 1) >> c) & 1:
+                        parity ^= (word >> d) & 1
+                checks.append(parity)
+            for flipped in [None] + rng.sample(range(data_bits), 3):
+                received = word ^ (1 << flipped) if flipped is not None else word
+                assignment = {f"d{i}": (received >> i) & 1 for i in range(data_bits)}
+                assignment.update({f"c{i}": checks[i] for i in range(n_checks)})
+                got = sim.run_single(assignment)
+                corrected = sum(got[f"q{i}"] << i for i in range(data_bits))
+                assert corrected == word, (word, flipped)
+
+    def test_expand_xor_removes_xor_cells(self):
+        circuit = sec_network(8, expand_xor=True)
+        assert all(g.kind != "XOR" for g in circuit.gates)
+
+
+class TestPriorityController:
+    def test_highest_priority_wins(self):
+        circuit = priority_controller(8)
+        sim = Simulator(circuit)
+        assignment = {f"en{i}": 1 for i in range(8)}
+        assignment.update({f"req{i}": 0 for i in range(8)})
+        assignment["req2"] = 1
+        assignment["req5"] = 1
+        got = sim.run_single(assignment)
+        code = sum(got[f"code{b}"] << b for b in range(3))
+        assert code == 2
+        assert got["valid"] == 1
+
+    def test_disabled_channel_skipped(self):
+        circuit = priority_controller(8)
+        sim = Simulator(circuit)
+        assignment = {f"en{i}": 1 for i in range(8)}
+        assignment.update({f"req{i}": 0 for i in range(8)})
+        assignment["req2"] = 1
+        assignment["en2"] = 0
+        assignment["req5"] = 1
+        got = sim.run_single(assignment)
+        code = sum(got[f"code{b}"] << b for b in range(3))
+        assert code == 5
+
+    def test_no_request(self):
+        circuit = priority_controller(8)
+        sim = Simulator(circuit)
+        assignment = {f"en{i}": 1 for i in range(8)}
+        assignment.update({f"req{i}": 0 for i in range(8)})
+        got = sim.run_single(assignment)
+        assert got["valid"] == 0
+
+
+class TestSimpleAlu:
+    def test_all_operations(self):
+        width = 4
+        circuit = simple_alu(width)
+        sim = Simulator(circuit)
+        rng = random.Random(3)
+        ops = {
+            (0, 0): lambda a, b, cin: (a + b + cin) & 0xF,
+            (1, 0): lambda a, b, cin: a & b,
+            (0, 1): lambda a, b, cin: a | b,
+            (1, 1): lambda a, b, cin: a ^ b,
+        }
+        for _ in range(30):
+            a, b = rng.randrange(16), rng.randrange(16)
+            cin = rng.randrange(2)
+            for (s0, s1), fn in ops.items():
+                assignment = {f"a{i}": (a >> i) & 1 for i in range(width)}
+                assignment.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+                assignment.update({"s0": s0, "s1": s1, "cin": cin})
+                got = sim.run_single(assignment)
+                result = sum(got[f"r{i}"] << i for i in range(width))
+                assert result == fn(a, b, cin), (a, b, cin, s0, s1)
+                assert got["zero"] == (1 if result == 0 else 0)
+
+    def test_carry_out(self):
+        circuit = simple_alu(4)
+        sim = Simulator(circuit)
+        assignment = {f"a{i}": 1 for i in range(4)}
+        assignment.update({f"b{i}": 0 for i in range(4)})
+        assignment.update({"b0": 1, "s0": 0, "s1": 0, "cin": 0})
+        got = sim.run_single(assignment)  # 15 + 1
+        assert got["cout"] == 1
+
+
+class TestPadding:
+    def test_exact_gate_count(self):
+        circuit = simple_alu(4)
+        before = circuit.n_gates
+        pad_to_gate_count(circuit, before + 57, seed=3)
+        assert circuit.n_gates == before + 57
+        circuit.validate()
+
+    def test_padding_preserves_host_function(self):
+        golden = simple_alu(4)
+        padded = simple_alu(4)
+        pad_to_gate_count(padded, padded.n_gates + 40, seed=3)
+        sim_g = Simulator(golden)
+        sim_p = Simulator(padded)
+        stim_inputs = {"s0": 1, "s1": 0, "cin": 1}
+        stim_inputs.update({f"a{i}": 1 for i in range(4)})
+        stim_inputs.update({f"b{i}": i % 2 for i in range(4)})
+        got_g = sim_g.run_single(stim_inputs)
+        got_p = sim_p.run_single(stim_inputs)
+        for out in golden.outputs:
+            assert got_g[out] == got_p[out]
+
+    def test_padding_never_taps_host_gates(self):
+        host = simple_alu(4)
+        host_gates = set(host.gate_names())
+        pad_to_gate_count(host, host.n_gates + 60, seed=1)
+        for name in host.gate_names():
+            if name in host_gates:
+                continue
+            for net in host.gate(name).inputs:
+                assert net in host.inputs or net not in host_gates
+
+    def test_no_dead_padding(self):
+        from repro.netlist import dangling_nets
+
+        circuit = simple_alu(4)
+        pad_to_gate_count(circuit, circuit.n_gates + 33, seed=2)
+        assert dangling_nets(circuit) == []
+
+    def test_over_budget_rejected(self):
+        circuit = simple_alu(4)
+        with pytest.raises(ValueError):
+            pad_to_gate_count(circuit, circuit.n_gates - 1)
+
+    def test_zero_deficit_noop(self):
+        circuit = simple_alu(4)
+        n = circuit.n_gates
+        pad_to_gate_count(circuit, n)
+        assert circuit.n_gates == n

@@ -1,0 +1,124 @@
+"""Unit tests for the calibrated random-logic generator."""
+
+import random
+
+import pytest
+
+from repro.bench import RandomLogicSpec, generate
+from repro.bench.random_logic import collect_dangling_and_calibrate, grow_layered_gates
+from repro.netlist import Circuit, dangling_nets
+
+
+def spec(**overrides):
+    base = dict(name="t", n_inputs=12, n_outputs=4, n_gates=200, seed=1)
+    base.update(overrides)
+    return RandomLogicSpec(**base)
+
+
+class TestGenerate:
+    def test_exact_gate_count(self):
+        for target in (50, 137, 400):
+            circuit = generate(spec(n_gates=target))
+            assert circuit.n_gates == target
+            circuit.validate()
+
+    def test_deterministic_per_seed(self):
+        a = generate(spec(seed=9))
+        b = generate(spec(seed=9))
+        c = generate(spec(seed=10))
+        assert [g.name for g in a.gates] == [g.name for g in b.gates]
+        assert [g.inputs for g in a.topological_order()] == [
+            g.inputs for g in b.topological_order()
+        ]
+        assert [g.inputs for g in a.topological_order()] != [
+            g.inputs for g in c.topological_order()
+        ]
+
+    def test_no_dead_logic(self):
+        circuit = generate(spec())
+        assert dangling_nets(circuit) == []
+
+    def test_depth_bounded(self):
+        circuit = generate(spec(n_gates=600))
+        layers = spec(n_gates=600).layer_count()
+        # work layers + collection tree + output buffers
+        assert circuit.depth() <= layers + 14
+
+    def test_explicit_depth(self):
+        circuit = generate(spec(n_gates=300, depth=10))
+        assert circuit.depth() <= 10 + 14
+
+    def test_port_counts(self):
+        circuit = generate(spec())
+        assert len(circuit.inputs) == 12
+        # declared POs plus the dangling-collection output
+        assert len(circuit.outputs) == 5
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            generate(spec(n_gates=4, n_outputs=4))
+
+    def test_gate_mix_has_controlling_gates(self):
+        circuit = generate(spec(n_gates=400))
+        kinds = {}
+        for gate in circuit.gates:
+            kinds[gate.kind] = kinds.get(gate.kind, 0) + 1
+        controlling = sum(kinds.get(k, 0) for k in ("AND", "OR", "NAND", "NOR"))
+        assert controlling > circuit.n_gates * 0.4
+
+
+class TestGrowLayeredGates:
+    def test_respects_pool_isolation(self):
+        circuit = Circuit("iso")
+        circuit.add_inputs(["a", "b", "c"])
+        circuit.add_gate("host", "AND", ["a", "b"])
+        circuit.add_output("host")
+        rng = random.Random(0)
+        added = grow_layered_gates(circuit, 30, rng, ["a", "b", "c"], 5, prefix="p")
+        assert len(added) == 30
+        for name in added:
+            for net in circuit.gate(name).inputs:
+                assert net != "host"
+
+    def test_zero_count(self):
+        circuit = Circuit("z")
+        circuit.add_input("a")
+        assert grow_layered_gates(circuit, 0, random.Random(0), ["a"], 3) == []
+
+    def test_empty_pool_rejected(self):
+        circuit = Circuit("e")
+        with pytest.raises(ValueError):
+            grow_layered_gates(circuit, 5, random.Random(0), [], 3)
+
+
+class TestCalibration:
+    def test_calibrate_exact(self):
+        circuit = Circuit("c")
+        circuit.add_inputs(["a", "b"])
+        rng = random.Random(4)
+        grow_layered_gates(circuit, 20, rng, ["a", "b"], 4)
+        collect_dangling_and_calibrate(circuit, 45, rng, ["a", "b"])
+        assert circuit.n_gates == 45
+        circuit.validate()
+        assert dangling_nets(circuit) == []
+
+    def test_tight_budget_trims_dangling(self):
+        circuit = Circuit("o")
+        circuit.add_inputs(["a", "b"])
+        rng = random.Random(4)
+        grow_layered_gates(circuit, 40, rng, ["a", "b"], 4)
+        collect_dangling_and_calibrate(circuit, 41, rng, ["a", "b"])
+        assert circuit.n_gates == 41
+        circuit.validate()
+
+    def test_over_budget_with_live_logic_rejected(self):
+        # No dangling gates to trim: the budget genuinely cannot be met.
+        circuit = Circuit("live")
+        circuit.add_inputs(["a", "b"])
+        circuit.add_gate("g0", "AND", ["a", "b"])
+        circuit.add_gate("g1", "INV", ["g0"])
+        circuit.add_gate("g2", "OR", ["g1", "a"])
+        circuit.add_outputs(["g2"])
+        rng = random.Random(4)
+        with pytest.raises(ValueError):
+            collect_dangling_and_calibrate(circuit, 2, rng, ["a", "b"])

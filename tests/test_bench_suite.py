@@ -1,0 +1,75 @@
+"""Unit tests for the reconstructed benchmark suite."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    SPECS,
+    SUITE_ORDER,
+    benchmark_names,
+    build_benchmark,
+    build_suite,
+)
+
+
+class TestRegistry:
+    def test_all_paper_circuits_present(self):
+        expected = {
+            "C432", "C499", "C880", "C1355", "C1908", "C3540", "C6288",
+            "des", "k2", "t481", "i10", "i8", "dalu", "vda",
+        }
+        assert set(benchmark_names()) == expected
+        assert set(PAPER_TABLE2) == expected
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_benchmark("c17")
+
+    def test_paper_table3_levels(self):
+        assert set(PAPER_TABLE3) == {"10%", "5%", "1%"}
+        assert PAPER_TABLE3["10%"]["constraint"] == 0.10
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_gate_count_matches_paper(self, name):
+        circuit = build_benchmark(name)
+        assert circuit.n_gates == PAPER_TABLE2[name]["gates"]
+        assert circuit.n_gates == SPECS[name].target_gates
+        circuit.validate()
+
+    @pytest.mark.parametrize("name", ["C432", "C880", "vda", "k2"])
+    def test_deterministic_build(self, name):
+        a = build_benchmark(name)
+        b = build_benchmark(name)
+        assert [g.name for g in a.topological_order()] == [
+            g.name for g in b.topological_order()
+        ]
+
+    @pytest.mark.parametrize("name", ["C432", "C880", "C499", "t481"])
+    def test_realistic_depth(self, name):
+        circuit = build_benchmark(name)
+        assert 8 <= circuit.depth() <= 130
+
+    def test_build_suite_subset(self):
+        suite = build_suite(("C432", "vda"))
+        assert set(suite) == {"C432", "vda"}
+
+
+class TestOdcRichness:
+    """The stand-ins must expose fingerprint locations like the originals."""
+
+    @pytest.mark.parametrize("name", ["C432", "C499", "C880", "C1355", "vda", "t481"])
+    def test_locations_in_paper_ballpark(self, name):
+        from repro.fingerprint import find_locations
+
+        circuit = build_benchmark(name)
+        catalog = find_locations(circuit)
+        paper = PAPER_TABLE2[name]["locations"]
+        # Same order of magnitude: within a factor of ~4 of the paper.
+        assert paper / 4 <= catalog.n_locations <= paper * 4, (
+            name,
+            catalog.n_locations,
+            paper,
+        )

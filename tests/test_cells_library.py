@@ -1,0 +1,117 @@
+"""Unit tests for the cell library."""
+
+import pytest
+
+from repro.cells import (
+    Cell,
+    CellLibrary,
+    CellNotFoundError,
+    GENERIC_LIB,
+    build_library,
+    generic_library,
+)
+
+
+class TestCell:
+    def test_valid_cell(self):
+        cell = Cell("NAND2", "NAND", 2, 100.0, 0.1, 0.01)
+        assert cell.has_odc
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            Cell("INV2", "INV", 2, 100.0, 0.1, 0.01)
+
+    def test_negative_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("BAD", "AND", 2, -1.0, 0.1, 0.01)
+
+    def test_xor_has_no_odc(self):
+        cell = Cell("XOR2", "XOR", 2, 100.0, 0.1, 0.01)
+        assert not cell.has_odc
+
+
+class TestCellLibrary:
+    def test_duplicate_name_rejected(self):
+        lib = CellLibrary("t")
+        lib.add(Cell("A", "AND", 2, 1, 0.1, 0.01))
+        with pytest.raises(ValueError):
+            lib.add(Cell("A", "OR", 2, 1, 0.1, 0.01))
+
+    def test_duplicate_signature_rejected(self):
+        lib = CellLibrary("t")
+        lib.add(Cell("A", "AND", 2, 1, 0.1, 0.01))
+        with pytest.raises(ValueError):
+            lib.add(Cell("B", "AND", 2, 1, 0.1, 0.01))
+
+    def test_find_and_try_find(self):
+        assert GENERIC_LIB.find("NAND", 2).name == "NAND2"
+        assert GENERIC_LIB.try_find("NAND", 9) is None
+        with pytest.raises(CellNotFoundError):
+            GENERIC_LIB.find("NAND", 9)
+
+    def test_cell_lookup_by_name(self):
+        assert GENERIC_LIB.cell("INV").kind == "INV"
+        with pytest.raises(CellNotFoundError):
+            GENERIC_LIB.cell("NOPE")
+
+    def test_max_arity(self):
+        assert GENERIC_LIB.max_arity("NAND") == 5
+        assert GENERIC_LIB.max_arity("XOR") == 3
+        assert GENERIC_LIB.max_arity("MISSING") == 0
+
+    def test_arities_sorted(self):
+        assert GENERIC_LIB.arities("AND") == [2, 3, 4, 5]
+
+    def test_widened(self):
+        nand2 = GENERIC_LIB.find("NAND", 2)
+        assert GENERIC_LIB.widened(nand2).n_inputs == 3
+        nand5 = GENERIC_LIB.find("NAND", 5)
+        assert GENERIC_LIB.widened(nand5) is None
+        assert GENERIC_LIB.widened(nand2, extra=2).n_inputs == 4
+
+    def test_inverter_widenings(self):
+        names = {c.name for c in GENERIC_LIB.inverter_widenings()}
+        assert names == {"NAND2", "NOR2"}
+
+    def test_odc_cells_table(self):
+        odc_kinds = {c.kind for c in GENERIC_LIB.odc_cells()}
+        assert odc_kinds == {"AND", "OR", "NAND", "NOR"}
+
+    def test_contains_len_iter(self):
+        assert "INV" in GENERIC_LIB
+        assert len(GENERIC_LIB) == len(list(GENERIC_LIB))
+
+    def test_summary_mentions_all_cells(self):
+        text = GENERIC_LIB.summary()
+        for cell in GENERIC_LIB:
+            assert cell.name in text
+
+    def test_generic_library_is_fresh_instance(self):
+        lib = generic_library()
+        assert lib is not GENERIC_LIB
+        assert len(lib) == len(GENERIC_LIB)
+
+    def test_build_library(self):
+        lib = build_library("mini", [Cell("INV", "INV", 1, 1, 0.1, 0.01)])
+        assert len(lib) == 1
+
+
+class TestLibraryCalibration:
+    """Wider cells must cost more — the source of fingerprint overhead."""
+
+    def test_area_monotone_in_arity(self):
+        for kind in ("AND", "OR", "NAND", "NOR"):
+            areas = [GENERIC_LIB.find(kind, n).area for n in GENERIC_LIB.arities(kind)]
+            assert areas == sorted(areas)
+            assert areas[0] < areas[-1]
+
+    def test_delay_monotone_in_arity(self):
+        for kind in ("AND", "OR", "NAND", "NOR"):
+            delays = [
+                GENERIC_LIB.find(kind, n).intrinsic_delay
+                for n in GENERIC_LIB.arities(kind)
+            ]
+            assert delays == sorted(delays)
+
+    def test_nand_cheaper_than_and(self):
+        assert GENERIC_LIB.find("NAND", 2).area < GENERIC_LIB.find("AND", 2).area

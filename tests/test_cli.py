@@ -1,0 +1,114 @@
+"""Tests for the repro-fp command-line tool."""
+
+import os
+
+import pytest
+
+from repro.cli import load_design, main
+from repro.netlist import save_verilog, write_blif
+from repro.bench import build_benchmark
+
+
+@pytest.fixture
+def golden_v(tmp_path, fig1_circuit):
+    path = tmp_path / "golden.v"
+    save_verilog(fig1_circuit, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def demo_blif(tmp_path, fig1_circuit):
+    path = tmp_path / "demo.blif"
+    path.write_text(write_blif(fig1_circuit))
+    return str(path)
+
+
+class TestLoadDesign:
+    def test_verilog(self, golden_v):
+        design = load_design(golden_v)
+        assert design.n_gates == 3
+
+    def test_blif_is_mapped(self, demo_blif):
+        design = load_design(demo_blif)
+        assert design.n_gates > 0
+
+    def test_unknown_extension(self):
+        with pytest.raises(SystemExit):
+            load_design("design.json")
+
+
+class TestCommands:
+    def test_locations(self, golden_v, capsys):
+        assert main(["locations", golden_v, "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "locations" in out and "loc 0" in out
+
+    def test_embed_and_extract_roundtrip(self, golden_v, tmp_path, capsys):
+        out_v = str(tmp_path / "copy.v")
+        assert main(["embed", golden_v, "--value", "1", "-o", out_v]) == 0
+        assert os.path.exists(out_v)
+        assert main(["extract", out_v, "--golden", golden_v]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint value: 1" in out
+
+    def test_embed_buyer(self, golden_v, tmp_path, capsys):
+        out_v = str(tmp_path / "buyer.v")
+        assert main(["embed", golden_v, "--buyer", "acme", "-o", out_v]) == 0
+        out = capsys.readouterr().out
+        assert "embedded fingerprint value" in out
+
+    def test_embed_stdout(self, golden_v, capsys):
+        assert main(["embed", golden_v, "--value", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "module" in out
+
+    def test_verify_equivalent(self, golden_v, tmp_path, capsys):
+        out_v = str(tmp_path / "copy.v")
+        main(["embed", golden_v, "--value", "1", "-o", out_v])
+        assert main(["verify", golden_v, out_v]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_verify_mismatch(self, tmp_path, fig1_circuit, capsys):
+        left = tmp_path / "left.v"
+        save_verilog(fig1_circuit, str(left))
+        broken = fig1_circuit.clone("fig1")
+        broken.replace_gate("F", "OR", ["X", "Y"])
+        right = tmp_path / "right.v"
+        save_verilog(broken, str(right))
+        assert main(["verify", str(left), str(right)]) == 1
+        assert "NOT equivalent" in capsys.readouterr().out
+
+    def test_measure(self, golden_v, capsys):
+        assert main(["measure", golden_v]) == 0
+        out = capsys.readouterr().out
+        assert "gates:  3" in out
+
+    def test_bench(self, tmp_path, capsys):
+        out_v = str(tmp_path / "c432.v")
+        assert main(["bench", "C432", "-o", out_v]) == 0
+        assert os.path.exists(out_v)
+        assert "166 gates" in capsys.readouterr().out
+
+    def test_tampered_extract_flagged(self, golden_v, tmp_path, capsys):
+        out_v = str(tmp_path / "copy.v")
+        main(["embed", golden_v, "--value", "1", "-o", out_v])
+        # Attacker rewires the modified slot to an unknown structure.
+        design = load_design(out_v)
+        from repro.fingerprint import find_locations
+
+        catalog = find_locations(load_design(golden_v))
+        victim = catalog.slots()[0].target
+        gate = design.gate(victim)
+        swap = "NOR" if gate.kind != "NOR" else "NAND"
+        design.replace_gate(victim, swap, list(gate.inputs))
+        tampered_v = str(tmp_path / "tampered.v")
+        save_verilog(design, tampered_v)
+        assert main(["extract", tampered_v, "--golden", golden_v]) == 2
+        assert "tampered" in capsys.readouterr().out.lower()
+
+
+class TestMeasureFull:
+    def test_full_report(self, golden_v, capsys):
+        assert main(["measure", golden_v, "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "gate mix:" in out and "fingerprintability:" in out

@@ -1,0 +1,99 @@
+"""Unit tests for capacity accounting and the mixed-radix codec."""
+
+import math
+import random
+
+import pytest
+
+from repro.fingerprint import FingerprintCodec, capacity, find_locations
+from repro.bench import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def c432_setup():
+    base = build_benchmark("C432")
+    return base, find_locations(base)
+
+
+class TestCapacity:
+    def test_fig1_capacity(self, fig1_circuit):
+        catalog = find_locations(fig1_circuit)
+        report = capacity(catalog)
+        assert report.n_locations == 1
+        assert report.n_slots == 1
+        assert report.combinations == catalog.slots()[0].n_configs
+        assert report.bits == pytest.approx(math.log2(report.combinations))
+
+    def test_min_combinations_bound(self, c432_setup):
+        _, catalog = c432_setup
+        report = capacity(catalog)
+        # Paper: at least 2**n combinations for n locations.
+        assert report.combinations >= report.min_combinations
+        assert report.bits >= report.n_locations
+
+    def test_empty_catalog(self, parity8):
+        catalog = find_locations(parity8)
+        report = capacity(catalog)
+        assert report.combinations == 1
+        assert report.bits == 0.0
+
+
+class TestCodec:
+    def test_encode_decode_roundtrip(self, c432_setup):
+        _, catalog = c432_setup
+        codec = FingerprintCodec(catalog)
+        rng = random.Random(11)
+        for _ in range(25):
+            value = rng.randrange(codec.combinations)
+            assignment = codec.encode(value)
+            assert codec.decode(assignment) == value
+
+    def test_distinct_values_distinct_assignments(self, c432_setup):
+        _, catalog = c432_setup
+        codec = FingerprintCodec(catalog)
+        seen = set()
+        for value in range(200):
+            assignment = codec.encode(value)
+            key = tuple(sorted(assignment.items()))
+            assert key not in seen
+            seen.add(key)
+
+    def test_out_of_range_rejected(self, fig1_circuit):
+        codec = FingerprintCodec(find_locations(fig1_circuit))
+        with pytest.raises(ValueError):
+            codec.encode(codec.combinations)
+        with pytest.raises(ValueError):
+            codec.encode(-1)
+
+    def test_decode_validates_digits(self, fig1_circuit):
+        catalog = find_locations(fig1_circuit)
+        codec = FingerprintCodec(catalog)
+        slot = catalog.slots()[0]
+        with pytest.raises(ValueError):
+            codec.decode({slot.target: slot.n_configs})
+
+    def test_bits_roundtrip(self, c432_setup):
+        _, catalog = c432_setup
+        codec = FingerprintCodec(catalog)
+        n_bits = int(codec.bits)  # safely within capacity
+        n_bits = min(n_bits, 40)
+        bits = [(i * 7 + 3) % 2 for i in range(n_bits)]
+        assignment = codec.encode_bits(bits)
+        assert codec.decode_bits(assignment, n_bits) == bits
+
+    def test_encode_bits_validates(self, fig1_circuit):
+        codec = FingerprintCodec(find_locations(fig1_circuit))
+        with pytest.raises(ValueError):
+            codec.encode_bits([2])
+
+    def test_random_assignment_in_space(self, c432_setup):
+        _, catalog = c432_setup
+        codec = FingerprintCodec(catalog)
+        rng = random.Random(0)
+        assignment = codec.random_assignment(rng)
+        assert 0 <= codec.decode(assignment) < codec.combinations
+
+    def test_digit_count(self, c432_setup):
+        _, catalog = c432_setup
+        codec = FingerprintCodec(catalog)
+        assert codec.n_digits == len(catalog.slots())

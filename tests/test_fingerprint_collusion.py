@@ -1,0 +1,127 @@
+"""Unit tests for collusion attacks and colluder tracing (paper §III.E)."""
+
+import pytest
+
+from repro.fingerprint import (
+    BuyerRegistry,
+    collude,
+    colluders_traced,
+    embed,
+    extract,
+    find_locations,
+    trace,
+)
+from repro.sim import check_equivalence
+from repro.bench import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def world():
+    base = build_benchmark("C432")
+    catalog = find_locations(base)
+    registry = BuyerRegistry(catalog, seed=7)
+    for i in range(16):
+        registry.register(f"buyer{i:02d}")
+    return base, catalog, registry
+
+
+class TestCollude:
+    def test_agreeing_slots_invisible(self, world):
+        _, catalog, registry = world
+        a = registry.record("buyer00").assignment
+        outcome = collude([a, a], strategy="majority")
+        assert outcome.visible_slots == ()
+        assert outcome.pirate_assignment == a
+
+    def test_majority_strategy(self):
+        assignments = [{"s": 1}, {"s": 1}, {"s": 2}]
+        outcome = collude(assignments, strategy="majority")
+        assert outcome.pirate_assignment["s"] == 1
+        assert outcome.visible_slots == ("s",)
+
+    def test_strip_strategy_prefers_unmodified(self):
+        assignments = [{"s": 1}, {"s": 0}]
+        outcome = collude(assignments, strategy="strip")
+        assert outcome.pirate_assignment["s"] == 0
+
+    def test_random_strategy_only_picks_observed(self, world):
+        _, catalog, registry = world
+        buyers = [registry.record(f"buyer{i:02d}").assignment for i in range(4)]
+        outcome = collude(buyers, strategy="random", seed=5)
+        for slot, value in outcome.pirate_assignment.items():
+            observed = {b[slot] for b in buyers}
+            assert value in observed
+
+    def test_marking_assumption(self, world):
+        """Slots where all colluders agree are untouched in the forgery."""
+        _, catalog, registry = world
+        buyers = [registry.record(f"buyer{i:02d}").assignment for i in range(3)]
+        outcome = collude(buyers, strategy="majority")
+        for slot in set(buyers[0]) - set(outcome.visible_slots):
+            assert outcome.pirate_assignment[slot] == buyers[0][slot]
+
+    def test_inputs_validated(self):
+        with pytest.raises(ValueError):
+            collude([])
+        with pytest.raises(ValueError):
+            collude([{"s": 1}], strategy="bogus")
+
+
+class TestTrace:
+    def test_single_pirate_identified(self, world):
+        _, catalog, registry = world
+        pirate = registry.record("buyer03").assignment
+        report = trace(registry, pirate)
+        assert report.scores[0][0] == "buyer03"
+        assert "buyer03" in report.accused
+
+    def test_collusion_traced_without_false_accusation(self, world):
+        _, catalog, registry = world
+        colluders = ["buyer01", "buyer05", "buyer09"]
+        outcome = collude(
+            [registry.record(b).assignment for b in colluders], strategy="majority"
+        )
+        report = trace(registry, outcome.pirate_assignment)
+        no_false, missed = colluders_traced(report, colluders)
+        assert no_false
+        assert len(missed) < len(colluders)  # at least one colluder caught
+
+    def test_strip_attack_still_traceable(self, world):
+        _, catalog, registry = world
+        colluders = ["buyer02", "buyer06"]
+        outcome = collude(
+            [registry.record(b).assignment for b in colluders], strategy="strip"
+        )
+        report = trace(registry, outcome.pirate_assignment)
+        no_false, missed = colluders_traced(report, colluders)
+        assert no_false
+
+    def test_empty_registry(self, world):
+        _, catalog, _ = world
+        empty = BuyerRegistry(catalog, seed=0)
+        report = trace(empty, {})
+        assert report.scores == () and report.accused == ()
+
+
+class TestEndToEndPiracy:
+    def test_forged_netlist_traces_back(self, world):
+        """Full pipeline: embed buyer copies, forge, extract, trace."""
+        base, catalog, registry = world
+        colluders = ["buyer04", "buyer08"]
+        copies = [
+            embed(base, catalog, registry.record(b).assignment, name=b)
+            for b in colluders
+        ]
+        for copy in copies:
+            assert check_equivalence(base, copy.circuit, n_random_vectors=1024).equivalent
+        outcome = collude([c.assignment() for c in copies], strategy="majority")
+        pirate_circuit = embed(base, catalog, outcome.pirate_assignment, name="pirate")
+        assert check_equivalence(
+            base, pirate_circuit.circuit, n_random_vectors=1024
+        ).equivalent
+        recovered = extract(pirate_circuit.circuit, base, catalog)
+        assert recovered.clean
+        report = trace(registry, recovered.assignment)
+        no_false, missed = colluders_traced(report, colluders)
+        assert no_false
+        assert set(report.accused) & set(colluders)

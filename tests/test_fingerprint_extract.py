@@ -1,0 +1,103 @@
+"""Unit tests for fingerprint extraction: the three paper requirements."""
+
+import random
+
+import pytest
+
+from repro.fingerprint import (
+    FingerprintCodec,
+    embed,
+    extract,
+    find_locations,
+    fingerprints_distinct,
+    full_assignment,
+)
+from repro.bench import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def setup():
+    base = build_benchmark("C432")
+    catalog = find_locations(base)
+    codec = FingerprintCodec(catalog)
+    return base, catalog, codec
+
+
+class TestRoundTrip:
+    def test_extraction_inverts_embedding(self, setup):
+        base, catalog, codec = setup
+        rng = random.Random(3)
+        for _ in range(5):
+            value = rng.randrange(codec.combinations)
+            assignment = codec.encode(value)
+            copy = embed(base, catalog, assignment)
+            result = extract(copy.circuit, base, catalog)
+            assert result.clean
+            assert codec.decode(result.assignment) == value
+
+    def test_unmodified_copy_reads_zero(self, setup):
+        base, catalog, codec = setup
+        result = extract(base.clone("verbatim"), base, catalog)
+        assert result.clean
+        assert codec.decode(result.assignment) == 0
+
+    def test_heredity_verbatim_copy_keeps_fingerprint(self, setup):
+        """Requirement 3: a copied netlist carries the fingerprint."""
+        base, catalog, codec = setup
+        assignment = codec.encode(123456 % codec.combinations)
+        copy = embed(base, catalog, assignment)
+        pirated = copy.circuit.clone("pirated")
+        result = extract(pirated, base, catalog)
+        assert result.assignment == {**{s.target: 0 for s in catalog.slots()}, **assignment}
+
+    def test_distinctness(self, setup):
+        """Requirement 2: different buyers get distinguishable copies."""
+        base, catalog, codec = setup
+        first = extract(embed(base, catalog, codec.encode(1)).circuit, base, catalog)
+        second = extract(embed(base, catalog, codec.encode(2)).circuit, base, catalog)
+        assert fingerprints_distinct(first, second)
+        again = extract(embed(base, catalog, codec.encode(1)).circuit, base, catalog)
+        assert not fingerprints_distinct(first, again)
+
+
+class TestTamperDetection:
+    def test_removed_modification_reads_zero(self, setup):
+        base, catalog, codec = setup
+        assignment = full_assignment(base, catalog)
+        copy = embed(base, catalog, assignment)
+        # Attacker reverts one slot to the original gate.
+        victim = next(t for t, v in assignment.items() if v > 0)
+        copy.remove(victim)
+        result = extract(copy.circuit, base, catalog)
+        assert result.clean  # reverting is config 0, not tampering
+        assert result.assignment[victim] == 0
+
+    def test_unknown_structure_flagged(self, setup):
+        base, catalog, codec = setup
+        copy = embed(base, catalog, full_assignment(base, catalog))
+        victim = next(t for t, v in copy.applied.items() if v > 0)
+        gate = copy.circuit.gate(victim)
+        # Attacker swaps the widened gate for an arbitrary different kind.
+        swap = "NOR" if gate.kind != "NOR" else "NAND"
+        copy.circuit.replace_gate(victim, swap, list(gate.inputs))
+        result = extract(copy.circuit, base, catalog)
+        assert victim in result.tampered
+        assert not result.clean
+
+    def test_deleted_gate_flagged(self, setup):
+        base, catalog, codec = setup
+        copy = embed(base, catalog, full_assignment(base, catalog))
+        victim = next(t for t, v in copy.applied.items() if v > 0)
+        suspect = copy.circuit.clone("suspect")
+        consumers = suspect.fanouts(victim)
+        victim_gate = suspect.gate(victim)
+        # Route victims' consumers to one of its inputs, drop the gate.
+        source = victim_gate.inputs[0]
+        for name in consumers:
+            g = suspect.gate(name)
+            suspect.replace_gate(
+                g.name, g.kind, [source if n == victim else n for n in g.inputs]
+            )
+        suspect.remove_gate(victim)
+        result = extract(suspect, base, catalog)
+        assert victim in result.tampered

@@ -1,0 +1,120 @@
+"""Unit tests for post-silicon fuse programming (paper §VI extension)."""
+
+import pytest
+
+from repro.fingerprint import (
+    FingerprintCodec,
+    FuseError,
+    FuseProductionLine,
+    FuseProgrammableDesign,
+    UNPROGRAMMED,
+    embed,
+    extract,
+    find_locations,
+)
+from repro.sim import check_equivalence, exhaustive_equivalent
+from repro.bench import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def line():
+    base = build_benchmark("C432")
+    catalog = find_locations(base)
+    return FuseProductionLine(base, catalog)
+
+
+class TestDieProgramming:
+    def test_fresh_die_is_flexible(self, line):
+        die = line.mint()
+        assert not die.programmed
+        assert len(die.flexible_slots) == len(line.catalog.slots())
+        assert die.state(die.flexible_slots[0]) is UNPROGRAMMED
+
+    def test_fuses_are_write_once(self, line):
+        die = line.mint()
+        target = line.catalog.slots()[0].target
+        die.program(target, 1)
+        assert die.state(target) == 1
+        with pytest.raises(FuseError):
+            die.program(target, 0)
+
+    def test_unknown_slot_rejected(self, line):
+        die = line.mint()
+        with pytest.raises(FuseError):
+            die.program("nonexistent", 1)
+
+    def test_out_of_range_configuration_rejected(self, line):
+        die = line.mint()
+        slot = line.catalog.slots()[0]
+        with pytest.raises(FuseError):
+            die.program(slot.target, len(slot.variants) + 1)
+
+    def test_full_programming(self, line):
+        die = line.produce(5)
+        assert die.programmed
+        assert die.flexible_slots == []
+
+
+class TestMaterialization:
+    def test_matches_embed(self, line):
+        value = 12345 % line.codec.combinations
+        die = line.produce(value)
+        via_fuses = die.materialize()
+        via_embed = embed(line.base, line.catalog, line.codec.encode(value))
+        assert via_fuses.n_gates == via_embed.circuit.n_gates
+        for gate in via_embed.circuit.gates:
+            assert via_fuses.gate(gate.name) == gate
+
+    def test_unprogrammed_die_is_base_function(self, line):
+        die = line.mint()
+        circuit = die.materialize()
+        assert check_equivalence(line.base, circuit, n_random_vectors=1024).equivalent
+        assert circuit.n_gates == line.base.n_gates
+
+    def test_partial_programming_is_functional(self, line):
+        die = line.mint()
+        slots = line.catalog.slots()
+        die.program(slots[0].target, 1)
+        die.program(slots[1].target, 0)
+        circuit = die.materialize()
+        assert check_equivalence(line.base, circuit, n_random_vectors=1024).equivalent
+        assert die.assignment()[slots[0].target] == 1
+
+    def test_extraction_reads_programmed_value(self, line):
+        value = 777 % line.codec.combinations
+        die = line.produce(value)
+        circuit = die.materialize()
+        recovered = extract(circuit, line.base, line.catalog)
+        assert line.codec.decode(recovered.assignment) == value
+
+
+class TestProductionLine:
+    def test_distinct_die_ids(self, line):
+        a, b = line.mint(), line.mint()
+        assert a.die_id != b.die_id
+
+    def test_two_dies_same_value_identical(self, line):
+        value = 99 % line.codec.combinations
+        a = line.produce(value).materialize("a")
+        b = line.produce(value).materialize("b")
+        for gate in a.gates:
+            assert b.gate(gate.name) == gate
+
+    def test_identical_masters_before_programming(self, line):
+        """The paper's point: every fabricated IC is the same master."""
+        a, b = line.mint(), line.mint()
+        assert a.assignment() == b.assignment()
+
+    def test_repr(self, line):
+        die = line.mint()
+        assert "burnt=0" in repr(die)
+
+
+class TestFig1Fuses:
+    def test_one_bit_fuse(self, fig1_circuit):
+        catalog = find_locations(fig1_circuit)
+        line = FuseProductionLine(fig1_circuit, catalog)
+        for value in (0, 1):
+            die = line.produce(value)
+            circuit = die.materialize()
+            assert exhaustive_equivalent(fig1_circuit, circuit).equivalent

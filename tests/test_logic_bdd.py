@@ -1,0 +1,160 @@
+"""Unit + property tests for the ROBDD package."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import Bdd, BddError, TruthTable, bdd_equivalent, build_output_bdds
+from repro.netlist import CircuitBuilder
+
+VARS = ("a", "b", "c")
+
+
+def bdd_from_table(manager: Bdd, table: TruthTable) -> int:
+    """Build a BDD from a truth table by OR-ing minterms."""
+    node = manager.ZERO
+    for assignment in table.on_set():
+        term = manager.ONE
+        for var in manager.variables:
+            literal = manager.var(var)
+            if not assignment[var]:
+                literal = manager.not_(literal)
+            term = manager.and_(term, literal)
+        node = manager.or_(node, term)
+    return node
+
+
+tables = st.integers(0, 255).map(lambda bits: TruthTable(VARS, bits))
+
+
+class TestBasics:
+    def test_terminals(self):
+        m = Bdd(VARS)
+        assert m.constant(0) == m.ZERO
+        assert m.constant(1) == m.ONE
+
+    def test_var_and_not(self):
+        m = Bdd(VARS)
+        a = m.var("a")
+        assert m.evaluate(a, {"a": 1, "b": 0, "c": 0}) == 1
+        assert m.evaluate(m.not_(a), {"a": 1, "b": 0, "c": 0}) == 0
+
+    def test_unknown_var(self):
+        m = Bdd(VARS)
+        with pytest.raises(BddError):
+            m.var("z")
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(BddError):
+            Bdd(("a", "a"))
+
+    def test_hash_consing_canonical(self):
+        m = Bdd(VARS)
+        a, b = m.var("a"), m.var("b")
+        left = m.or_(m.and_(a, b), m.and_(a, m.not_(b)))
+        assert left == a  # simplifies to a single node
+
+    def test_node_limit(self):
+        m = Bdd(tuple(f"v{i}" for i in range(16)), max_nodes=10)
+        with pytest.raises(BddError):
+            node = m.ZERO
+            for i in range(16):
+                node = m.or_(node, m.and_(m.var(f"v{i}"), m.var(f"v{(i + 1) % 16}")))
+
+
+class TestSemantics:
+    @given(tables, tables)
+    @settings(max_examples=30)
+    def test_apply_matches_truth_tables(self, s, t):
+        m = Bdd(VARS)
+        ns, nt = bdd_from_table(m, s), bdd_from_table(m, t)
+        for op, fold in (("and", s & t), ("or", s | t), ("xor", s ^ t)):
+            node = m.apply_many(op, [ns, nt])
+            for assignment in _all_assignments():
+                assert m.evaluate(node, assignment) == fold.evaluate(assignment)
+
+    @given(tables)
+    @settings(max_examples=30)
+    def test_canonicity(self, t):
+        """Equal functions produce the identical node id."""
+        m = Bdd(VARS)
+        n1 = bdd_from_table(m, t)
+        n2 = bdd_from_table(m, ~~t)
+        assert n1 == n2
+
+    @given(tables)
+    @settings(max_examples=30)
+    def test_sat_count(self, t):
+        m = Bdd(VARS)
+        node = bdd_from_table(m, t)
+        assert m.sat_count(node) == t.on_set_size()
+
+    @given(tables)
+    @settings(max_examples=30)
+    def test_pick_assignment(self, t):
+        m = Bdd(VARS)
+        node = bdd_from_table(m, t)
+        assignment = m.pick_assignment(node)
+        if t.is_contradiction():
+            assert assignment is None
+        else:
+            assert t.evaluate(assignment) == 1
+
+    @given(tables, st.sampled_from(VARS))
+    @settings(max_examples=30)
+    def test_restrict_matches_cofactor(self, t, var):
+        m = Bdd(VARS)
+        node = bdd_from_table(m, t)
+        for value in (0, 1):
+            restricted = m.restrict(node, var, value)
+            cofactor = t.cofactor(var, value)
+            for assignment in _all_assignments():
+                assert m.evaluate(restricted, assignment) == cofactor.evaluate(assignment)
+
+    @given(tables, st.sampled_from(VARS))
+    @settings(max_examples=30)
+    def test_boolean_difference(self, t, var):
+        m = Bdd(VARS)
+        node = bdd_from_table(m, t)
+        diff = m.boolean_difference(node, var)
+        expected = t.boolean_difference(var)
+        for assignment in _all_assignments():
+            assert m.evaluate(diff, assignment) == expected.evaluate(assignment)
+
+    def test_exists(self):
+        m = Bdd(VARS)
+        a, b = m.var("a"), m.var("b")
+        node = m.and_(a, b)
+        assert m.exists(node, "a") == b
+
+
+class TestCircuitCompilation:
+    def test_fig1_outputs(self, fig1_circuit):
+        manager, outputs = build_output_bdds(fig1_circuit)
+        node = outputs["F"]
+        assert manager.evaluate(node, {"A": 1, "B": 1, "C": 1, "D": 0}) == 1
+        assert manager.evaluate(node, {"A": 1, "B": 1, "C": 0, "D": 0}) == 0
+
+    def test_bdd_equivalence_of_fig1_pair(self, fig1_circuit, fig1_modified):
+        assert bdd_equivalent(fig1_circuit, fig1_modified)
+
+    def test_bdd_detects_difference(self, fig1_circuit):
+        broken = fig1_circuit.clone("broken")
+        broken.replace_gate("F", "OR", ["X", "Y"])
+        assert not bdd_equivalent(fig1_circuit, broken)
+
+    def test_adder_compiles(self, adder4):
+        manager, outputs = build_output_bdds(adder4)
+        assignment = {f"a{i}": (5 >> i) & 1 for i in range(4)}
+        assignment.update({f"b{i}": (9 >> i) & 1 for i in range(4)})
+        assignment["cin"] = 0
+        total = sum(
+            manager.evaluate(outputs[f"s{i}"], assignment) << i for i in range(4)
+        )
+        total += manager.evaluate(outputs["cout"], assignment) << 4
+        assert total == 14
+
+
+def _all_assignments():
+    for row in range(8):
+        yield {v: (row >> i) & 1 for i, v in enumerate(VARS)}

@@ -1,0 +1,109 @@
+"""Unit tests for BLIF parsing and writing."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import (
+    BlifError,
+    parse_blif,
+    write_blif,
+)
+from repro.sim import Simulator
+from repro.techmap import map_network
+
+SIMPLE = """
+# a comment
+.model demo
+.inputs a b c
+.outputs f
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.end
+"""
+
+
+class TestParse:
+    def test_parse_simple(self):
+        net = parse_blif(SIMPLE)
+        assert net.name == "demo"
+        assert net.inputs == ["a", "b", "c"]
+        assert net.outputs == ["f"]
+        assert set(net.nodes) == {"t", "f"}
+        assert net.evaluate({"a": 1, "b": 1, "c": 0})["f"] == 1
+        assert net.evaluate({"a": 0, "b": 1, "c": 0})["f"] == 0
+
+    def test_line_continuation(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+        net = parse_blif(text)
+        assert net.inputs == ["a", "b"]
+
+    def test_offset_cover(self):
+        text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n00 0\n.end\n"
+        net = parse_blif(text)
+        # f = NOT(a'b') = a OR b
+        assert net.evaluate({"a": 0, "b": 0})["f"] == 0
+        assert net.evaluate({"a": 1, "b": 0})["f"] == 1
+
+    def test_constant_node(self):
+        text = ".model m\n.inputs a\n.outputs k a2\n.names k\n1\n.names a a2\n1 1\n.end\n"
+        net = parse_blif(text)
+        assert net.evaluate({"a": 0})["k"] == 1
+
+    def test_model_name_defaults(self):
+        net = parse_blif(".inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
+        assert net.name == "top"
+
+    def test_unsupported_construct(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.latch a b\n.end\n")
+
+    def test_row_outside_names(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n11 1\n.end\n")
+
+    def test_arity_mismatch_row(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a b\n.outputs f\n.names a b f\n111 1\n.end\n")
+
+    def test_empty_input(self):
+        with pytest.raises(BlifError):
+            parse_blif("")
+
+    def test_undriven_output(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n.outputs ghost\n.end\n")
+
+
+class TestWrite:
+    def test_network_roundtrip(self):
+        net = parse_blif(SIMPLE)
+        text = write_blif(net)
+        back = parse_blif(text)
+        for bits in itertools.product([0, 1], repeat=3):
+            assignment = dict(zip("abc", bits))
+            assert net.evaluate(assignment)["f"] == back.evaluate(assignment)["f"]
+
+    def test_circuit_to_blif_roundtrip(self, fig1_circuit):
+        text = write_blif(fig1_circuit)
+        network = parse_blif(text)
+        mapped = map_network(network)
+        sim_src = Simulator(fig1_circuit)
+        sim_dst = Simulator(mapped)
+        for bits in itertools.product([0, 1], repeat=4):
+            assignment = dict(zip("ABCD", bits))
+            assert sim_src.run_single(assignment)["F"] == sim_dst.run_single(assignment)["F"]
+
+    def test_xor_gate_serialized(self, parity8):
+        text = write_blif(parity8)
+        network = parse_blif(text)
+        mapped = map_network(network)
+        sim_src = Simulator(parity8)
+        sim_dst = Simulator(mapped)
+        out = parity8.outputs[0]
+        for value in (0, 3, 0b10101010, 255):
+            assignment = {f"p{i}": (value >> i) & 1 for i in range(8)}
+            assert sim_src.run_single(assignment)[out] == sim_dst.run_single(assignment)[out]

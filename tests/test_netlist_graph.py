@@ -1,0 +1,97 @@
+"""Unit tests for cone/fanout graph analyses."""
+
+import networkx as nx
+
+from repro.netlist import (
+    Circuit,
+    dangling_nets,
+    fanout_free_cone,
+    fanout_histogram,
+    ffc_members,
+    is_single_fanout,
+    output_cone,
+    to_networkx,
+    transitive_fanin,
+    transitive_fanout,
+)
+
+
+class TestCones:
+    def test_transitive_fanin(self, fig1_circuit):
+        cone = transitive_fanin(fig1_circuit, "F")
+        assert cone == {"A", "B", "C", "D", "X", "Y", "F"}
+        assert transitive_fanin(fig1_circuit, "X") == {"A", "B", "X"}
+
+    def test_transitive_fanin_excluding_inputs(self, fig1_circuit):
+        cone = transitive_fanin(fig1_circuit, "F", include_inputs=False)
+        assert cone == {"X", "Y", "F"}
+
+    def test_transitive_fanout(self, fig1_circuit):
+        assert transitive_fanout(fig1_circuit, "A") == {"A", "X", "F"}
+        assert transitive_fanout(fig1_circuit, "F") == {"F"}
+
+    def test_output_cone_ordered(self, fig1_circuit):
+        gates = [g.name for g in output_cone(fig1_circuit, "F")]
+        assert set(gates) == {"X", "Y", "F"}
+        assert gates.index("X") < gates.index("F")
+
+
+class TestFanoutFreeCones:
+    def test_single_fanout(self, fig1_circuit):
+        assert is_single_fanout(fig1_circuit, "X")
+        assert not is_single_fanout(fig1_circuit, "F")  # PO
+
+    def test_mffc_of_fig1(self, fig1_circuit):
+        assert fanout_free_cone(fig1_circuit, "X") == {"X"}
+        assert fanout_free_cone(fig1_circuit, "F") == {"F", "X", "Y"}
+
+    def test_mffc_of_pi_is_empty(self, fig1_circuit):
+        assert fanout_free_cone(fig1_circuit, "A") == set()
+
+    def test_mffc_stops_at_shared_net(self):
+        c = Circuit("shared")
+        c.add_inputs(["a", "b", "c"])
+        c.add_gate("m", "AND", ["a", "b"])
+        c.add_gate("n", "OR", ["m", "c"])   # m feeds n and p
+        c.add_gate("p", "AND", ["m", "c"])
+        c.add_gate("q", "AND", ["n", "p"])
+        c.add_output("q")
+        cone = fanout_free_cone(c, "q")
+        # m has two consumers, both inside the cone -> m joins too.
+        assert cone == {"q", "n", "p", "m"}
+        assert fanout_free_cone(c, "n") == {"n"}
+
+    def test_mffc_excludes_po_members(self):
+        c = Circuit("po")
+        c.add_inputs(["a", "b"])
+        c.add_gate("m", "AND", ["a", "b"])
+        c.add_gate("n", "INV", ["m"])
+        c.add_outputs(["m", "n"])  # m is itself observable
+        assert fanout_free_cone(c, "n") == {"n"}
+
+    def test_ffc_members_topological(self, fig1_circuit):
+        members = [g.name for g in ffc_members(fig1_circuit, "F")]
+        assert members.index("X") < members.index("F")
+
+
+class TestExportsAndStats:
+    def test_to_networkx(self, fig1_circuit):
+        graph = to_networkx(fig1_circuit)
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.nodes["A"]["type"] == "input"
+        assert graph.nodes["F"]["type"] == "AND"
+        assert graph.has_edge("X", "F")
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_fanout_histogram(self, fig1_circuit):
+        histogram = fanout_histogram(fig1_circuit)
+        # A,B,C,D,X,Y all have fanout 1; F has fanout 1 (PO load).
+        assert histogram == {1: 7}
+
+    def test_dangling_nets(self):
+        c = Circuit("d")
+        c.add_input("a")
+        c.add_gate("used", "INV", ["a"])
+        c.add_gate("unused", "INV", ["a"])
+        c.add_output("used")
+        assert dangling_nets(c) == ["unused"]

@@ -1,0 +1,104 @@
+"""Unit tests for the SOP logic-network model."""
+
+import pytest
+
+from repro.netlist import Cube, SopError, SopNetwork, SopNode
+
+
+class TestCube:
+    def test_matches(self):
+        cube = Cube(("1", "0", "-"))
+        assert cube.matches([1, 0, 0])
+        assert cube.matches([1, 0, 1])
+        assert not cube.matches([0, 0, 1])
+        assert not cube.matches([1, 1, 1])
+
+    def test_bad_literal(self):
+        with pytest.raises(SopError):
+            Cube(("1", "x"))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SopError):
+            Cube(("1", "0")).matches([1])
+
+    def test_str(self):
+        assert str(Cube(("1", "-", "0"))) == "1-0"
+
+
+class TestSopNode:
+    def test_onset_evaluation(self):
+        node = SopNode("f", ("a", "b"), (Cube(("1", "1")),), "1")
+        assert node.evaluate([1, 1]) == 1
+        assert node.evaluate([1, 0]) == 0
+
+    def test_offset_evaluation(self):
+        node = SopNode("f", ("a", "b"), (Cube(("0", "0")),), "0")
+        assert node.evaluate([0, 0]) == 0
+        assert node.evaluate([1, 0]) == 1
+
+    def test_constants(self):
+        one = SopNode("k1", (), (Cube(()),), "1")
+        zero = SopNode("k0", (), (), "1")
+        assert one.is_constant and one.constant_value() == 1
+        assert zero.constant_value() == 0
+
+    def test_constant_value_on_nonconstant_rejected(self):
+        node = SopNode("f", ("a",), (Cube(("1",)),), "1")
+        with pytest.raises(SopError):
+            node.constant_value()
+
+    def test_truth_table(self):
+        node = SopNode("f", ("a", "b"), (Cube(("1", "-")),), "1")
+        assert node.truth_table() == 0b1010  # f = a
+
+    def test_cube_arity_checked(self):
+        with pytest.raises(SopError):
+            SopNode("f", ("a", "b"), (Cube(("1",)),), "1")
+
+
+class TestSopNetwork:
+    def make_net(self):
+        net = SopNetwork("t")
+        net.inputs = ["a", "b", "c"]
+        net.outputs = ["f"]
+        net.add_cover("x", ["a", "b"], [("11", "1")])
+        net.add_cover("f", ["x", "c"], [("1-", "1"), ("-1", "1")])
+        return net
+
+    def test_topological_order(self):
+        net = self.make_net()
+        order = [n.name for n in net.topological_order()]
+        assert order == ["x", "f"]
+
+    def test_evaluate(self):
+        net = self.make_net()
+        values = net.evaluate({"a": 1, "b": 1, "c": 0})
+        assert values["x"] == 1 and values["f"] == 1
+        values = net.evaluate({"a": 0, "b": 1, "c": 0})
+        assert values["f"] == 0
+
+    def test_duplicate_signal_rejected(self):
+        net = self.make_net()
+        with pytest.raises(SopError):
+            net.add_cover("x", ["a"], [("1", "1")])
+
+    def test_cycle_rejected(self):
+        net = SopNetwork("c")
+        net.inputs = ["a"]
+        net.add_cover("p", ["a", "q"], [("11", "1")])
+        net.add_cover("q", ["p"], [("1", "1")])
+        with pytest.raises(SopError):
+            net.topological_order()
+
+    def test_undriven_output_rejected(self):
+        net = SopNetwork("u")
+        net.inputs = ["a"]
+        net.outputs = ["ghost"]
+        with pytest.raises(SopError):
+            net.validate()
+
+    def test_mixed_cover_rejected(self):
+        net = SopNetwork("m")
+        net.inputs = ["a", "b"]
+        with pytest.raises(SopError):
+            net.add_cover("f", ["a", "b"], [("11", "1"), ("00", "0")])

@@ -1,0 +1,147 @@
+"""Unit tests for netlist transformations."""
+
+import pytest
+
+from repro.netlist import (
+    Circuit,
+    NetlistError,
+    cleanup,
+    eliminate_dead_gates,
+    prefix_nets,
+    propagate_constants,
+    rename_nets,
+    sweep_buffers,
+)
+from repro.sim import exhaustive_equivalent
+
+
+class TestRename:
+    def test_rename_ports_and_gates(self, fig1_circuit):
+        renamed = rename_nets(fig1_circuit, {"A": "a0", "F": "out"})
+        assert renamed.inputs == ["a0", "B", "C", "D"]
+        assert renamed.outputs == ["out"]
+        assert renamed.gate("out").inputs == ("X", "Y")
+
+    def test_merge_rejected(self, fig1_circuit):
+        with pytest.raises(NetlistError):
+            rename_nets(fig1_circuit, {"A": "B"})
+
+    def test_prefix_nets(self, fig1_circuit):
+        prefixed = prefix_nets(fig1_circuit, "u_")
+        assert prefixed.inputs[0] == "u_A"
+        assert prefixed.gate("u_F").inputs == ("u_X", "u_Y")
+
+
+class TestDeadCode:
+    def test_dead_gate_removed(self, fig1_circuit):
+        fig1_circuit.add_gate("dead", "INV", ["A"])
+        assert eliminate_dead_gates(fig1_circuit) == 1
+        assert not fig1_circuit.has_net("dead")
+
+    def test_dead_chain_removed(self, fig1_circuit):
+        fig1_circuit.add_gate("d1", "INV", ["A"])
+        fig1_circuit.add_gate("d2", "INV", ["d1"])
+        assert eliminate_dead_gates(fig1_circuit) == 2
+
+    def test_live_logic_kept(self, fig1_circuit):
+        assert eliminate_dead_gates(fig1_circuit) == 0
+        assert fig1_circuit.n_gates == 3
+
+
+class TestBufferSweep:
+    def test_buffer_rewired(self):
+        c = Circuit("b")
+        c.add_input("a")
+        c.add_gate("buf", "BUF", ["a"])
+        c.add_gate("n", "INV", ["buf"])
+        c.add_output("n")
+        assert sweep_buffers(c) == 1
+        assert c.gate("n").inputs == ("a",)
+        c.validate()
+
+    def test_po_buffer_kept(self):
+        c = Circuit("b")
+        c.add_input("a")
+        c.add_gate("out", "BUF", ["a"])
+        c.add_output("out")
+        assert sweep_buffers(c) == 0
+        assert c.has_net("out")
+
+    def test_buffer_chain(self):
+        c = Circuit("b")
+        c.add_input("a")
+        c.add_gate("b1", "BUF", ["a"])
+        c.add_gate("b2", "BUF", ["b1"])
+        c.add_gate("n", "INV", ["b2"])
+        c.add_output("n")
+        assert sweep_buffers(c) == 2
+        assert c.gate("n").inputs == ("a",)
+
+
+class TestConstantPropagation:
+    def _const_circuit(self, const_kind, gate_kind):
+        c = Circuit("cp")
+        c.add_inputs(["a", "b"])
+        c.add_gate("k", const_kind, [])
+        c.add_gate("g", gate_kind, ["a", "k"])
+        c.add_gate("out", "OR", ["g", "b"])
+        c.add_output("out")
+        return c
+
+    def test_controlling_constant_collapses_gate(self):
+        c = self._const_circuit("CONST0", "AND")
+        propagate_constants(c)
+        assert c.gate("g").kind == "CONST0"
+
+    def test_identity_constant_narrows_gate(self):
+        c = self._const_circuit("CONST1", "AND")
+        propagate_constants(c)
+        assert c.gate("g").kind == "BUF"
+        assert c.gate("g").inputs == ("a",)
+
+    def test_xor_with_const1_becomes_inverter(self):
+        c = self._const_circuit("CONST1", "XOR")
+        propagate_constants(c)
+        assert c.gate("g").kind == "INV"
+
+    def test_xor_with_const0_becomes_buffer(self):
+        c = self._const_circuit("CONST0", "XOR")
+        propagate_constants(c)
+        assert c.gate("g").kind == "BUF"
+
+    def test_inverted_constant(self):
+        c = Circuit("cp")
+        c.add_input("a")
+        c.add_gate("k", "CONST0", [])
+        c.add_gate("n", "INV", ["k"])
+        c.add_gate("out", "AND", ["a", "n"])
+        c.add_output("out")
+        propagate_constants(c)
+        assert c.gate("n").kind == "CONST1"
+        assert c.gate("out").kind == "BUF"
+
+    def test_preserves_function(self, fig1_circuit):
+        golden = fig1_circuit.clone("golden")
+        fig1_circuit.remove_gate("F")
+        fig1_circuit.add_gate("k", "CONST1", [])
+        fig1_circuit.add_gate("F", "AND", ["X", "Y", "k"])
+        cleanup(fig1_circuit)
+        assert exhaustive_equivalent(golden, fig1_circuit).equivalent
+
+
+class TestCleanup:
+    def test_cleanup_runs_to_fixed_point(self):
+        c = Circuit("all")
+        c.add_inputs(["a", "b"])
+        c.add_gate("k1", "CONST1", [])
+        c.add_gate("g", "AND", ["a", "k1"])   # -> BUF(a)
+        c.add_gate("h", "OR", ["g", "b"])
+        c.add_gate("dead", "INV", ["h"])
+        c.add_output("h")
+        totals = cleanup(c)
+        assert totals["constants"] >= 1
+        assert totals["dead"] >= 2  # dead INV and the constant generator
+        assert totals["buffers"] >= 1
+        c.validate()
+        assert c.n_gates == 1
+        assert c.gate("h").inputs == ("a", "b")

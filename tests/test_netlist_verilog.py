@@ -1,0 +1,83 @@
+"""Unit tests for the structural Verilog writer/reader."""
+
+import pytest
+
+from repro.netlist import (
+    VerilogError,
+    parse_verilog,
+    write_verilog,
+)
+from repro.sim import check_equivalence, exhaustive_equivalent
+from repro.bench import build_benchmark
+
+
+class TestWriter:
+    def test_module_structure(self, fig1_circuit):
+        text = write_verilog(fig1_circuit)
+        assert "module fig1" in text
+        assert "input A, B, C, D;" in text
+        assert "output F;" in text
+        assert "endmodule" in text
+        assert "AND2" in text and "OR2" in text
+
+    def test_named_pins(self, fig1_circuit):
+        text = write_verilog(fig1_circuit)
+        assert ".A(X)" in text and ".B(Y)" in text and ".Y(F)" in text
+
+
+class TestRoundTrip:
+    def test_fig1_roundtrip(self, fig1_circuit):
+        back = parse_verilog(write_verilog(fig1_circuit))
+        assert back.name == "fig1"
+        assert exhaustive_equivalent(fig1_circuit, back).equivalent
+
+    def test_adder_roundtrip(self, adder4):
+        back = parse_verilog(write_verilog(adder4))
+        assert exhaustive_equivalent(adder4, back).equivalent
+
+    def test_benchmark_roundtrip(self):
+        base = build_benchmark("C432")
+        back = parse_verilog(write_verilog(base))
+        assert back.n_gates == base.n_gates
+        assert check_equivalence(base, back, n_random_vectors=1024).equivalent
+
+    def test_comments_ignored(self, fig1_circuit):
+        text = "// header\n/* block\ncomment */\n" + write_verilog(fig1_circuit)
+        back = parse_verilog(text)
+        assert exhaustive_equivalent(fig1_circuit, back).equivalent
+
+
+class TestErrors:
+    def test_unknown_cell(self):
+        text = "module m (a, y);\ninput a;\noutput y;\nMAGIC g (.A(a), .Y(y));\nendmodule\n"
+        with pytest.raises(Exception):
+            parse_verilog(text)
+
+    def test_missing_output_pin(self):
+        text = "module m (a, y);\ninput a;\noutput y;\nINV g (.A(a));\nendmodule\n"
+        with pytest.raises(VerilogError):
+            parse_verilog(text)
+
+    def test_missing_input_pin(self):
+        text = "module m (a, b, y);\ninput a, b;\noutput y;\nNAND2 g (.A(a), .Y(y));\nendmodule\n"
+        with pytest.raises(VerilogError):
+            parse_verilog(text)
+
+    def test_truncated_module(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("module m (a);\ninput a;")
+
+
+class TestEscapedIdentifiers:
+    def test_weird_net_names_roundtrip(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("esc")
+        c.add_inputs(["a.1", "b[0]"])
+        c.add_gate("n$x", "AND", ["a.1", "b[0]"])
+        c.add_output("n$x")
+        text = write_verilog(c)
+        assert "\\a.1 " in text
+        back = parse_verilog(text)
+        assert set(back.inputs) == {"a.1", "b[0]"}
+        assert exhaustive_equivalent(c, back).equivalent

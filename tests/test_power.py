@@ -1,0 +1,109 @@
+"""Unit tests for switching-activity and power estimation."""
+
+import pytest
+
+from repro.netlist import Circuit
+from repro.power import (
+    PowerReport,
+    estimate_power,
+    propagate_probabilities,
+    simulate_activity,
+    simulated_probabilities,
+    switching_activity,
+    total_power,
+)
+
+
+class TestProbabilities:
+    def test_fig1_probabilities(self, fig1_circuit):
+        probs = propagate_probabilities(fig1_circuit)
+        assert probs["X"] == pytest.approx(0.25)
+        assert probs["Y"] == pytest.approx(0.75)
+        assert probs["F"] == pytest.approx(0.25 * 0.75)
+
+    def test_custom_input_probabilities(self, fig1_circuit):
+        probs = propagate_probabilities(fig1_circuit, {"A": 1.0, "B": 1.0})
+        assert probs["X"] == pytest.approx(1.0)
+
+    def test_invalid_probability_rejected(self, fig1_circuit):
+        with pytest.raises(ValueError):
+            propagate_probabilities(fig1_circuit, {"A": 1.5})
+
+    def test_xor_parity_probability(self, parity8):
+        probs = propagate_probabilities(parity8)
+        assert probs[parity8.outputs[0]] == pytest.approx(0.5)
+
+    def test_inverting_kinds(self):
+        c = Circuit("inv")
+        c.add_inputs(["a", "b"])
+        c.add_gate("n", "NAND", ["a", "b"])
+        c.add_gate("r", "NOR", ["a", "b"])
+        c.add_gate("x", "XNOR", ["a", "b"])
+        c.add_outputs(["n", "r", "x"])
+        probs = propagate_probabilities(c)
+        assert probs["n"] == pytest.approx(0.75)
+        assert probs["r"] == pytest.approx(0.25)
+        assert probs["x"] == pytest.approx(0.5)
+
+    def test_constants(self):
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_gate("one", "CONST1", [])
+        c.add_gate("f", "AND", ["a", "one"])
+        c.add_output("f")
+        probs = propagate_probabilities(c)
+        assert probs["one"] == 1.0
+        assert probs["f"] == pytest.approx(0.5)
+
+    def test_analytic_close_to_simulation_on_tree(self, parity8):
+        """On a reconvergence-free circuit the analytic pass is exact."""
+        analytic = propagate_probabilities(parity8)
+        simulated = simulated_probabilities(parity8, n_vectors=8192, seed=3)
+        for net, p in analytic.items():
+            assert simulated[net] == pytest.approx(p, abs=0.03)
+
+
+class TestActivity:
+    def test_switching_activity_formula(self):
+        acts = switching_activity({"a": 0.5, "b": 0.0, "c": 1.0})
+        assert acts["a"] == pytest.approx(0.5)
+        assert acts["b"] == 0.0
+        assert acts["c"] == 0.0
+
+    def test_simulated_activity_matches_formula(self, fig1_circuit):
+        probs = propagate_probabilities(fig1_circuit)
+        expected = switching_activity(probs)
+        measured = simulate_activity(fig1_circuit, n_vectors=8192, seed=1)
+        for net in ("X", "Y", "F"):
+            assert measured[net] == pytest.approx(expected[net], abs=0.04)
+
+    def test_needs_two_vectors(self, fig1_circuit):
+        with pytest.raises(ValueError):
+            simulate_activity(fig1_circuit, n_vectors=1)
+
+
+class TestPowerEstimate:
+    def test_report_structure(self, fig1_circuit):
+        report = estimate_power(fig1_circuit)
+        assert isinstance(report, PowerReport)
+        assert report.total == pytest.approx(report.dynamic + report.leakage)
+        assert report.dynamic > 0
+        assert report.leakage > 0
+
+    def test_total_power_wrapper(self, fig1_circuit):
+        assert total_power(fig1_circuit) == pytest.approx(
+            estimate_power(fig1_circuit).total
+        )
+
+    def test_more_gates_more_power(self, fig1_circuit):
+        before = total_power(fig1_circuit)
+        fig1_circuit.add_gate("extra", "XOR", ["A", "B"])
+        fig1_circuit.add_output("extra")
+        assert total_power(fig1_circuit) > before
+
+    def test_explicit_activities_honoured(self, fig1_circuit):
+        silent = estimate_power(
+            fig1_circuit, activities={g.name: 0.0 for g in fig1_circuit.gates}
+        )
+        assert silent.dynamic == 0.0
+        assert silent.leakage > 0.0

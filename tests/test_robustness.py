@@ -1,0 +1,139 @@
+"""Failure-injection and fuzz robustness tests.
+
+Parsers must reject malformed input with their documented error types
+(never an arbitrary crash); structural validators must catch every way a
+netlist can be broken; and the fingerprinting engine must fail loudly, not
+silently, when handed inconsistent state.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import (
+    BlifError,
+    Circuit,
+    NetlistError,
+    SopError,
+    VerilogError,
+    parse_blif,
+    parse_verilog,
+)
+from repro.sat import Cnf, CnfError
+
+_TEXT_ALPHABET = string.ascii_letters + string.digits + " .\n_-10#\\"
+
+
+class TestBlifFuzz:
+    @given(st.text(alphabet=_TEXT_ALPHABET, max_size=300))
+    @settings(max_examples=200, deadline=None)
+    def test_parser_never_crashes_unexpectedly(self, text):
+        try:
+            parse_blif(text)
+        except BlifError:
+            pass  # the documented failure mode
+
+    @given(st.text(alphabet=".names \n10-", max_size=120))
+    @settings(max_examples=100, deadline=None)
+    def test_cover_section_fuzz(self, body):
+        text = ".model f\n.inputs a b\n.outputs o\n" + body + "\n.end\n"
+        try:
+            parse_blif(text)
+        except BlifError:
+            pass
+
+
+class TestVerilogFuzz:
+    @given(st.text(alphabet=_TEXT_ALPHABET + "();,", max_size=300))
+    @settings(max_examples=200, deadline=None)
+    def test_parser_never_crashes_unexpectedly(self, text):
+        try:
+            parse_verilog("module m (a);\ninput a;\n" + text + "\nendmodule")
+        except (VerilogError, NetlistError, KeyError):
+            pass  # KeyError: unknown cell name from the library lookup
+
+
+class TestDimacsFuzz:
+    @given(st.text(alphabet="pcnf 0123456789-\n", max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_dimacs_never_crashes_unexpectedly(self, text):
+        try:
+            Cnf.from_dimacs(text)
+        except (CnfError, ValueError):
+            pass
+
+
+class TestStructuralFailureInjection:
+    def test_dangling_input_caught(self, fig1_circuit):
+        fig1_circuit.add_gate("bad", "AND", ["A", "ghost_net"])
+        with pytest.raises(NetlistError):
+            fig1_circuit.validate()
+
+    def test_injected_cycle_caught(self, fig1_circuit):
+        fig1_circuit.remove_gate("X")
+        fig1_circuit.add_gate("X", "AND", ["A", "F"])  # F depends on X
+        with pytest.raises(NetlistError):
+            fig1_circuit.validate()
+
+    def test_missing_po_driver_caught(self, fig1_circuit):
+        fig1_circuit.remove_gate("F")
+        with pytest.raises(NetlistError):
+            fig1_circuit.validate()
+
+    def test_analyses_refuse_broken_circuits(self, fig1_circuit):
+        from repro.timing import analyze
+
+        fig1_circuit.add_gate("bad", "AND", ["A", "ghost"])
+        with pytest.raises(NetlistError):
+            analyze(fig1_circuit)
+
+    def test_simulator_refuses_broken_circuits(self, fig1_circuit):
+        from repro.sim import Simulator
+
+        fig1_circuit.add_gate("bad", "AND", ["A", "ghost"])
+        with pytest.raises(NetlistError):
+            Simulator(fig1_circuit).run_single({})
+
+
+class TestFingerprintFailureInjection:
+    def test_stale_catalog_detected_on_apply(self, fig1_circuit):
+        """Embedding against a catalog whose target vanished must raise."""
+        from repro.fingerprint import FingerprintedCircuit, find_locations
+
+        catalog = find_locations(fig1_circuit)
+        target = catalog.slots()[0].target
+        fp = FingerprintedCircuit(fig1_circuit, catalog)
+        # Sabotage: remove the target gate from the working copy.
+        consumers = fp.circuit.fanouts(target)
+        for name in consumers:
+            g = fp.circuit.gate(name)
+            fp.circuit.replace_gate(
+                g.name, g.kind,
+                [fig1_circuit.inputs[0] if n == target else n for n in g.inputs],
+            )
+        fp.circuit.remove_gate(target)
+        with pytest.raises(NetlistError):
+            fp.apply(target, 1)
+
+    def test_extraction_handles_missing_gates(self, fig1_circuit):
+        from repro.fingerprint import extract, find_locations
+
+        catalog = find_locations(fig1_circuit)
+        suspect = Circuit("empty_suspect")
+        suspect.add_inputs(fig1_circuit.inputs)
+        result = extract(suspect, fig1_circuit, catalog)
+        assert result.tampered  # nothing matched; flagged, not crashed
+
+    def test_embedding_is_atomic_per_slot(self, fig1_circuit):
+        """A failed apply leaves no partial modification behind."""
+        from repro.fingerprint import EmbeddingError, FingerprintedCircuit, find_locations
+
+        catalog = find_locations(fig1_circuit)
+        fp = FingerprintedCircuit(fig1_circuit, catalog)
+        gates_before = fp.circuit.n_gates
+        with pytest.raises(EmbeddingError):
+            fp.apply(catalog.slots()[0].target, 999)
+        assert fp.circuit.n_gates == gates_before
+        assert fp.n_active == 0

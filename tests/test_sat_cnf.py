@@ -1,0 +1,59 @@
+"""Unit tests for the CNF container and DIMACS I/O."""
+
+import pytest
+
+from repro.sat import Cnf, CnfError
+
+
+class TestCnf:
+    def test_new_vars(self):
+        cnf = Cnf()
+        assert cnf.new_var() == 1
+        assert cnf.new_vars(3) == [2, 3, 4]
+        assert cnf.n_vars == 4
+
+    def test_add_clause_validation(self):
+        cnf = Cnf(n_vars=2)
+        cnf.add_clause([1, -2])
+        with pytest.raises(CnfError):
+            cnf.add_clause([])
+        with pytest.raises(CnfError):
+            cnf.add_clause([0])
+        with pytest.raises(CnfError):
+            cnf.add_clause([3])
+
+    def test_evaluate(self):
+        cnf = Cnf(n_vars=2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        # assignment index 0 unused
+        assert cnf.evaluate([False, False, True])
+        assert not cnf.evaluate([False, True, False])
+        with pytest.raises(CnfError):
+            cnf.evaluate([False])
+
+    def test_dimacs_roundtrip(self):
+        cnf = Cnf(n_vars=3)
+        cnf.add_clauses([[1, -2], [2, 3], [-3]])
+        text = cnf.to_dimacs()
+        assert text.startswith("p cnf 3 3")
+        back = Cnf.from_dimacs(text)
+        assert back.n_vars == 3
+        assert back.clauses == cnf.clauses
+
+    def test_dimacs_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        cnf = Cnf.from_dimacs(text)
+        assert cnf.clauses == [(1, -2)]
+
+    def test_dimacs_errors(self):
+        with pytest.raises(CnfError):
+            Cnf.from_dimacs("1 2 0\n")
+        with pytest.raises(CnfError):
+            Cnf.from_dimacs("p sat 2 1\n")
+        with pytest.raises(CnfError):
+            Cnf.from_dimacs("")
+
+    def test_trailing_clause_without_zero(self):
+        cnf = Cnf.from_dimacs("p cnf 2 1\n1 2")
+        assert cnf.clauses == [(1, 2)]

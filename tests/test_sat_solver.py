@@ -1,0 +1,137 @@
+"""Unit + property tests for the CDCL SAT solver.
+
+The property tests cross-check the solver against brute-force enumeration
+on random small formulas — both the SAT/UNSAT verdict and model validity.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CdclSolver, Cnf, solve_cnf
+
+
+def brute_force_sat(cnf: Cnf) -> bool:
+    for bits in itertools.product([False, True], repeat=cnf.n_vars):
+        if cnf.evaluate((False,) + bits):
+            return True
+    return False
+
+
+def clause_strategy(n_vars: int):
+    literal = st.integers(1, n_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    return st.lists(literal, min_size=1, max_size=4).map(tuple)
+
+
+formulas = st.integers(3, 8).flatmap(
+    lambda n: st.lists(clause_strategy(n), min_size=1, max_size=24).map(
+        lambda clauses: _build(n, clauses)
+    )
+)
+
+
+def _build(n_vars, clauses) -> Cnf:
+    cnf = Cnf(n_vars=n_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestBasics:
+    def test_trivial_sat(self):
+        cnf = Cnf(n_vars=1)
+        cnf.add_clause([1])
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        assert result.value(1) is True
+
+    def test_trivial_unsat(self):
+        cnf = Cnf(n_vars=1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_unit_propagation_chain(self):
+        cnf = Cnf(n_vars=4)
+        cnf.add_clauses([[1], [-1, 2], [-2, 3], [-3, 4]])
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        assert all(result.value(v) for v in range(1, 5))
+
+    def test_requires_backtracking(self):
+        # Pigeonhole PHP(3,2): 3 pigeons, 2 holes — UNSAT, needs search.
+        cnf = Cnf(n_vars=6)  # var(p,h) = 2*p + h + 1
+        for p in range(3):
+            cnf.add_clause([2 * p + 1, 2 * p + 2])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    cnf.add_clause([-(2 * p1 + h + 1), -(2 * p2 + h + 1)])
+        result = solve_cnf(cnf)
+        assert not result.satisfiable
+        assert result.stats.conflicts > 0
+
+    def test_tautological_clause_ignored(self):
+        cnf = Cnf(n_vars=2)
+        cnf.add_clause([1, -1])
+        cnf.add_clause([2])
+        result = solve_cnf(cnf)
+        assert result.satisfiable and result.value(2)
+
+    def test_duplicate_literals_handled(self):
+        cnf = Cnf(n_vars=2)
+        cnf.add_clause([1, 1, 2])
+        assert solve_cnf(cnf).satisfiable
+
+    def test_model_access_on_unsat(self):
+        cnf = Cnf(n_vars=1)
+        cnf.add_clauses([[1], [-1]])
+        result = solve_cnf(cnf)
+        try:
+            result.value(1)
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        cnf = Cnf(n_vars=2)
+        cnf.add_clause([1, 2])
+        result = solve_cnf(cnf, assumptions=[-1])
+        assert result.satisfiable
+        assert result.value(1) is False and result.value(2) is True
+
+    def test_conflicting_assumption(self):
+        cnf = Cnf(n_vars=2)
+        cnf.add_clause([1])
+        assert not solve_cnf(cnf, assumptions=[-1]).satisfiable
+
+    def test_assumptions_unsat_via_propagation(self):
+        cnf = Cnf(n_vars=3)
+        cnf.add_clauses([[-1, 2], [-2, 3]])
+        assert not solve_cnf(cnf, assumptions=[1, -3]).satisfiable
+
+
+class TestAgainstBruteForce:
+    @given(formulas)
+    @settings(max_examples=120, deadline=None)
+    def test_verdict_matches_brute_force(self, cnf):
+        expected = brute_force_sat(cnf)
+        result = CdclSolver(cnf).solve()
+        assert result.satisfiable == expected
+        if result.satisfiable:
+            assignment = [False] + [
+                result.model[v] for v in range(1, cnf.n_vars + 1)
+            ]
+            assert cnf.evaluate(assignment)
+
+    @given(formulas)
+    @settings(max_examples=40, deadline=None)
+    def test_restart_base_does_not_change_verdict(self, cnf):
+        a = CdclSolver(cnf, restart_base=2).solve()
+        b = CdclSolver(cnf, restart_base=1000).solve()
+        assert a.satisfiable == b.satisfiable

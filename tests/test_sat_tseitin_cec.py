@@ -1,0 +1,100 @@
+"""Unit tests for the Tseitin encoder and miter-based CEC."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import Circuit
+from repro.sat import CircuitEncoding, build_miter, encode_circuit, sat_equivalent, solve_cnf
+from repro.sim import PortMismatchError, Simulator
+
+
+def _assert_encoding_matches_simulation(circuit: Circuit):
+    encoding = encode_circuit(circuit)
+    sim = Simulator(circuit)
+    n = len(circuit.inputs)
+    for bits in itertools.product([0, 1], repeat=n):
+        assignment = dict(zip(circuit.inputs, bits))
+        expected = sim.run_single(assignment)
+        assumptions = [
+            encoding.var_of[name] if value else -encoding.var_of[name]
+            for name, value in assignment.items()
+        ]
+        result = solve_cnf(encoding.cnf, assumptions=assumptions)
+        assert result.satisfiable  # the circuit constraint is consistent
+        for net in circuit.outputs:
+            assert result.value(encoding.var_of[net]) == bool(expected[net]), (
+                assignment,
+                net,
+            )
+
+
+class TestTseitin:
+    def test_fig1_encoding(self, fig1_circuit):
+        _assert_encoding_matches_simulation(fig1_circuit)
+
+    def test_all_gate_kinds(self):
+        c = Circuit("kinds")
+        c.add_inputs(["a", "b", "c"])
+        c.add_gate("g_and", "AND", ["a", "b", "c"])
+        c.add_gate("g_or", "OR", ["a", "b"])
+        c.add_gate("g_nand", "NAND", ["a", "b"])
+        c.add_gate("g_nor", "NOR", ["b", "c"])
+        c.add_gate("g_xor", "XOR", ["a", "b", "c"])
+        c.add_gate("g_xnor", "XNOR", ["a", "c"])
+        c.add_gate("g_inv", "INV", ["g_xor"])
+        c.add_gate("g_buf", "BUF", ["g_and"])
+        c.add_gate("k1", "CONST1", [])
+        c.add_gate("k0", "CONST0", [])
+        c.add_gate("g_k", "OR", ["k0", "k1"])
+        c.add_outputs(
+            ["g_and", "g_or", "g_nand", "g_nor", "g_xor", "g_xnor", "g_inv", "g_buf", "g_k"]
+        )
+        _assert_encoding_matches_simulation(c)
+
+    def test_shared_nets_share_variables(self, fig1_circuit):
+        encoding = CircuitEncoding()
+        encode_circuit(fig1_circuit, encoding, prefix="L::", shared_nets=fig1_circuit.inputs)
+        encode_circuit(fig1_circuit, encoding, prefix="R::", shared_nets=fig1_circuit.inputs)
+        assert encoding.var_of["A"]  # unprefixed
+        assert "L::F" in encoding.var_of and "R::F" in encoding.var_of
+
+
+class TestCec:
+    def test_fig1_pair_equivalent(self, fig1_circuit, fig1_modified):
+        result = sat_equivalent(fig1_circuit, fig1_modified)
+        assert result.equivalent
+        assert result.counterexample is None
+
+    def test_mismatch_produces_valid_counterexample(self, fig1_circuit):
+        broken = fig1_circuit.clone("broken")
+        broken.replace_gate("F", "OR", ["X", "Y"])
+        result = sat_equivalent(fig1_circuit, broken)
+        assert not result.equivalent
+        sim_l = Simulator(fig1_circuit).run_single(result.counterexample)
+        sim_r = Simulator(broken).run_single(result.counterexample)
+        assert sim_l["F"] != sim_r["F"]
+
+    def test_adder_vs_itself(self, adder4):
+        assert sat_equivalent(adder4, adder4.clone("twin")).equivalent
+
+    def test_subtle_mismatch_found(self, adder4):
+        broken = adder4.clone("broken")
+        # Swap one XOR for XNOR deep inside the carry chain.
+        victim = next(g for g in broken.gates if g.kind == "XOR")
+        broken.replace_gate(victim.name, "XNOR", list(victim.inputs))
+        result = sat_equivalent(adder4, broken)
+        assert not result.equivalent
+
+    def test_port_mismatch(self, fig1_circuit, parity8):
+        with pytest.raises(PortMismatchError):
+            build_miter(fig1_circuit, parity8)
+
+    def test_feedthrough_outputs(self):
+        left = Circuit("ft1")
+        left.add_input("a")
+        left.add_output("a")
+        right = Circuit("ft2")
+        right.add_input("a")
+        right.add_output("a")
+        assert sat_equivalent(left, right).equivalent

@@ -1,0 +1,97 @@
+"""Unit tests for simulation-based equivalence checking."""
+
+import pytest
+
+from repro.netlist import Circuit
+from repro.sim import (
+    PortMismatchError,
+    check_equivalence,
+    exhaustive_equivalent,
+    random_equivalent,
+)
+
+
+def _mutated(circuit: Circuit) -> Circuit:
+    broken = circuit.clone("broken")
+    broken.replace_gate("F", "OR", ["X", "Y"])
+    return broken
+
+
+class TestExhaustive:
+    def test_fig1_pair(self, fig1_circuit, fig1_modified):
+        result = exhaustive_equivalent(fig1_circuit, fig1_modified)
+        assert result.equivalent and result.complete
+        assert result.n_vectors == 16
+
+    def test_detects_mismatch_with_counterexample(self, fig1_circuit):
+        result = exhaustive_equivalent(fig1_circuit, _mutated(fig1_circuit))
+        assert not result.equivalent
+        assert result.output == "F"
+        cex = result.counterexample
+        # Verify the counterexample really distinguishes the two.
+        from repro.sim import Simulator
+
+        left = Simulator(fig1_circuit).run_single(cex)["F"]
+        right = Simulator(_mutated(fig1_circuit)).run_single(cex)["F"]
+        assert left != right
+
+    def test_port_mismatch_rejected(self, fig1_circuit, parity8):
+        with pytest.raises(PortMismatchError):
+            exhaustive_equivalent(fig1_circuit, parity8)
+
+
+class TestRandom:
+    def test_equivalent_pair(self, fig1_circuit, fig1_modified):
+        result = random_equivalent(fig1_circuit, fig1_modified, n_vectors=512)
+        assert result.equivalent and not result.complete
+
+    def test_detects_easy_mismatch(self, fig1_circuit):
+        result = random_equivalent(fig1_circuit, _mutated(fig1_circuit), n_vectors=512)
+        assert not result.equivalent
+        assert result.counterexample is not None
+
+    def test_seed_changes_vectors_not_verdict(self, fig1_circuit, fig1_modified):
+        for seed in (0, 1, 2):
+            assert random_equivalent(
+                fig1_circuit, fig1_modified, n_vectors=256, seed=seed
+            ).equivalent
+
+
+class TestDispatch:
+    def test_small_circuit_goes_exhaustive(self, fig1_circuit, fig1_modified):
+        result = check_equivalence(fig1_circuit, fig1_modified)
+        assert result.complete
+
+    def test_wide_circuit_goes_random(self):
+        left = Circuit("wide")
+        right = Circuit("wide2")
+        for c in (left, right):
+            c.add_inputs(f"i{k}" for k in range(20))
+            c.add_gate("f", "AND", [f"i{k}" for k in range(4)])
+            c.add_output("f")
+        result = check_equivalence(left, right, max_exhaustive_inputs=16)
+        assert result.equivalent and not result.complete
+
+
+class TestCompleteDispatch:
+    def test_wide_circuit_sat_proof(self):
+        """complete=True promotes the random verdict to a SAT proof."""
+        from repro.bench import build_benchmark
+        from repro.fingerprint import embed, find_locations, full_assignment
+
+        base = build_benchmark("C432")  # 54 inputs: beyond exhaustive
+        catalog = find_locations(base)
+        copy = embed(base, catalog, full_assignment(base, catalog))
+        result = check_equivalence(base, copy.circuit, complete=True)
+        assert result.equivalent and result.complete
+
+    def test_wide_circuit_sat_refutation(self):
+        from repro.bench import build_benchmark
+
+        base = build_benchmark("C432")
+        broken = base.clone("broken")
+        victim = next(g for g in broken.gates if g.kind in ("AND", "OR"))
+        flipped = "NAND" if victim.kind == "AND" else "NOR"
+        broken.replace_gate(victim.name, flipped, list(victim.inputs))
+        result = check_equivalence(base, broken, complete=True)
+        assert not result.equivalent

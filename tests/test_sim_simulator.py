@@ -1,0 +1,108 @@
+"""Unit tests for the bit-parallel simulator."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Circuit
+from repro.sim import (
+    Simulator,
+    StimulusError,
+    count_ones,
+    exhaustive_stimulus,
+    random_stimulus,
+    simulate,
+)
+
+
+class TestRunSingle:
+    def test_fig1_truth(self, fig1_circuit):
+        sim = Simulator(fig1_circuit)
+        assert sim.run_single({"A": 1, "B": 1, "C": 1, "D": 0})["F"] == 1
+        assert sim.run_single({"A": 1, "B": 0, "C": 1, "D": 0})["F"] == 0
+        assert sim.run_single({"A": 1, "B": 1, "C": 0, "D": 0})["F"] == 0
+
+    def test_missing_inputs_default_zero(self, fig1_circuit):
+        sim = Simulator(fig1_circuit)
+        assert sim.run_single({})["F"] == 0
+
+    def test_constants(self):
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_gate("one", "CONST1", [])
+        c.add_gate("zero", "CONST0", [])
+        c.add_gate("f", "AND", ["a", "one"])
+        c.add_gate("g", "OR", ["a", "zero"])
+        c.add_outputs(["f", "g"])
+        sim = Simulator(c)
+        got = sim.run_single({"a": 1})
+        assert got["one"] == 1 and got["zero"] == 0
+        assert got["f"] == 1 and got["g"] == 1
+
+
+class TestPackedRuns:
+    def test_exhaustive_matches_truth(self, fig1_circuit):
+        stim = exhaustive_stimulus(fig1_circuit.inputs)
+        values = simulate(fig1_circuit, stim)
+        word = int(values["F"][0])
+        for vec in range(16):
+            a, b, c, d = ((vec >> i) & 1 for i in range(4))
+            expected = a & b & (c | d)
+            assert (word >> vec) & 1 == expected, vec
+
+    def test_run_outputs_only(self, fig1_circuit):
+        sim = Simulator(fig1_circuit)
+        stim = exhaustive_stimulus(fig1_circuit.inputs)
+        outs = sim.run_outputs(stim)
+        assert set(outs) == {"F"}
+
+    def test_nets_selection(self, fig1_circuit):
+        stim = exhaustive_stimulus(fig1_circuit.inputs)
+        values = simulate(fig1_circuit, stim, nets=["X"])
+        assert set(values) == {"X"}
+
+    def test_missing_stimulus_rejected(self, fig1_circuit):
+        with pytest.raises(StimulusError):
+            simulate(fig1_circuit, {"A": np.zeros(1, dtype=np.uint64)})
+
+    def test_length_mismatch_rejected(self, fig1_circuit):
+        stim = {
+            "A": np.zeros(1, dtype=np.uint64),
+            "B": np.zeros(2, dtype=np.uint64),
+            "C": np.zeros(1, dtype=np.uint64),
+            "D": np.zeros(1, dtype=np.uint64),
+        }
+        with pytest.raises(StimulusError):
+            simulate(fig1_circuit, stim)
+
+    def test_simulator_reuses_topology_across_runs(self, fig1_circuit):
+        sim = Simulator(fig1_circuit)
+        stim = random_stimulus(fig1_circuit.inputs, 128, seed=1)
+        first = sim.run(stim)
+        second = sim.run(stim)
+        assert np.array_equal(first["F"], second["F"])
+
+    def test_simulator_follows_mutation(self, fig1_circuit):
+        sim = Simulator(fig1_circuit)
+        before = sim.run_single({"A": 1, "B": 1, "C": 0, "D": 0})["F"]
+        fig1_circuit.replace_gate("F", "OR", ["X", "Y"])
+        after = sim.run_single({"A": 1, "B": 1, "C": 0, "D": 0})["F"]
+        assert before == 0 and after == 1
+
+
+class TestCountOnes:
+    def test_full_words(self):
+        words = np.array([0xFFFFFFFFFFFFFFFF, 0x1], dtype=np.uint64)
+        assert count_ones(words) == 65
+
+    def test_truncated(self):
+        words = np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        assert count_ones(words, n_vectors=10) == 10
+
+    def test_truncation_across_words(self):
+        words = np.array([0xFFFFFFFFFFFFFFFF, 0xFF], dtype=np.uint64)
+        assert count_ones(words, n_vectors=68) == 68
+
+    def test_overflow_rejected(self):
+        words = np.zeros(1, dtype=np.uint64)
+        with pytest.raises(StimulusError):
+            count_ones(words, n_vectors=100)

@@ -1,0 +1,76 @@
+"""Unit tests for stimulus generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    StimulusError,
+    WORD_BITS,
+    exhaustive_stimulus,
+    exhaustive_vector_count,
+    n_words,
+    pack_vectors,
+    random_stimulus,
+    vector_of,
+)
+
+
+class TestExhaustive:
+    def test_counts_all_assignments(self):
+        inputs = ["a", "b", "c"]
+        stim = exhaustive_stimulus(inputs)
+        seen = set()
+        for index in range(exhaustive_vector_count(3)):
+            vec = vector_of(stim, index)
+            seen.add((vec["a"], vec["b"], vec["c"]))
+        assert len(seen) == 8
+
+    def test_binary_counting_order(self):
+        stim = exhaustive_stimulus(["a", "b"])
+        # vector v assigns input i the bit (v >> i) & 1
+        assert vector_of(stim, 0) == {"a": 0, "b": 0}
+        assert vector_of(stim, 1) == {"a": 1, "b": 0}
+        assert vector_of(stim, 2) == {"a": 0, "b": 1}
+        assert vector_of(stim, 3) == {"a": 1, "b": 1}
+
+    def test_wide_input_blocks(self):
+        inputs = [f"i{k}" for k in range(8)]
+        stim = exhaustive_stimulus(inputs)
+        assert len(stim["i0"]) == (1 << 8) // WORD_BITS
+        for index in (0, 63, 64, 200, 255):
+            vec = vector_of(stim, index)
+            for k in range(8):
+                assert vec[f"i{k}"] == (index >> k) & 1
+
+    def test_limit_enforced(self):
+        with pytest.raises(StimulusError):
+            exhaustive_stimulus([f"i{k}" for k in range(30)])
+
+
+class TestRandomAndPacking:
+    def test_random_deterministic_by_seed(self):
+        a = random_stimulus(["x", "y"], 256, seed=5)
+        b = random_stimulus(["x", "y"], 256, seed=5)
+        c = random_stimulus(["x", "y"], 256, seed=6)
+        assert np.array_equal(a["x"], b["x"])
+        assert not np.array_equal(a["x"], c["x"])
+
+    def test_random_needs_vectors(self):
+        with pytest.raises(StimulusError):
+            random_stimulus(["x"], 0)
+
+    def test_n_words(self):
+        assert n_words(1) == 1
+        assert n_words(64) == 1
+        assert n_words(65) == 2
+
+    def test_pack_vectors_roundtrip(self):
+        vectors = [{"a": 1, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 1}]
+        stim = pack_vectors(["a", "b"], vectors)
+        for index, vec in enumerate(vectors):
+            assert vector_of(stim, index) == vec
+
+    def test_vector_of_out_of_range(self):
+        stim = pack_vectors(["a"], [{"a": 1}])
+        with pytest.raises(StimulusError):
+            vector_of(stim, 64)

@@ -1,0 +1,145 @@
+"""Unit + property tests for the SOP minimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import Cube, SopNetwork, SopNode, parse_blif
+from repro.techmap import (
+    literal_count,
+    merge_distance1,
+    minimize_network,
+    minimize_node,
+    remove_contained_cubes,
+)
+
+
+def node_from_rows(rows, n_inputs=3, value="1"):
+    inputs = tuple(f"i{k}" for k in range(n_inputs))
+    return SopNode("f", inputs, tuple(Cube(tuple(r)) for r in rows), value)
+
+
+class TestContainment:
+    def test_duplicate_removed(self):
+        cubes = [("1", "0"), ("1", "0")]
+        assert remove_contained_cubes(cubes) == [("1", "0")]
+
+    def test_contained_removed(self):
+        cubes = [("1", "-"), ("1", "0")]
+        assert remove_contained_cubes(cubes) == [("1", "-")]
+
+    def test_incomparable_kept(self):
+        cubes = [("1", "0"), ("0", "1")]
+        assert sorted(remove_contained_cubes(cubes)) == sorted(cubes)
+
+
+class TestMerge:
+    def test_distance1_merged(self):
+        cubes = [("1", "0"), ("1", "1")]
+        merged, changed = merge_distance1(cubes)
+        assert changed
+        assert merged == [("1", "-")]
+
+    def test_distance2_not_merged(self):
+        cubes = [("1", "0"), ("0", "1")]
+        _, changed = merge_distance1(cubes)
+        assert not changed
+
+    def test_dash_mismatch_not_merged(self):
+        cubes = [("1", "-"), ("0", "1")]
+        _, changed = merge_distance1(cubes)
+        assert not changed
+
+
+class TestMinimizeNode:
+    def test_classic_xy_plus_xy(self):
+        # f = ab + ab' == a
+        node = node_from_rows([tuple("11"), tuple("10")], n_inputs=2)
+        minimized = minimize_node(node)
+        assert minimized.truth_table() == node.truth_table()
+        assert len(minimized.cubes) == 1
+        assert str(minimized.cubes[0]) == "1-"
+
+    def test_redundant_consensus_cube(self):
+        # f = ab + a'c + bc ; bc is redundant, and expansion can grow cubes.
+        node = SopNode(
+            "f",
+            ("a", "b", "c"),
+            (Cube(tuple("11-")), Cube(tuple("0-1")), Cube(tuple("-11"))),
+            "1",
+        )
+        minimized = minimize_node(node)
+        assert minimized.truth_table() == node.truth_table()
+        assert len(minimized.cubes) <= 2
+
+    def test_offset_cover_minimized(self):
+        # cover of the OFF-set: f' = a'b' + a'b == a'
+        node = SopNode(
+            "f", ("a", "b"), (Cube(tuple("00")), Cube(tuple("01"))), "0"
+        )
+        minimized = minimize_node(node)
+        assert minimized.truth_table() == node.truth_table()
+        assert len(minimized.cubes) == 1
+
+    def test_constant_node_untouched(self):
+        node = SopNode("k", (), (Cube(()),), "1")
+        assert minimize_node(node) is node
+
+    @given(
+        st.integers(2, 4),
+        st.lists(
+            st.tuples(st.sampled_from("01-"), st.sampled_from("01-"),
+                      st.sampled_from("01-"), st.sampled_from("01-")),
+            min_size=1, max_size=8,
+        ),
+        st.sampled_from("01"),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_function_always_preserved(self, n_inputs, raw_cubes, value):
+        cubes = tuple(Cube(tuple(r[:n_inputs])) for r in raw_cubes)
+        node = SopNode("f", tuple(f"i{k}" for k in range(n_inputs)), cubes, value)
+        minimized = minimize_node(node)
+        assert minimized.truth_table() == node.truth_table()
+        assert len(minimized.cubes) <= len(node.cubes)
+
+
+class TestMinimizeNetwork:
+    BLIF = """
+.model redundant
+.inputs a b c
+.outputs f g
+.names a b c f
+11- 1
+111 1
+110 1
+.names a b g
+11 1
+10 1
+.end
+"""
+
+    def test_network_semantics_preserved(self):
+        network = parse_blif(self.BLIF)
+        minimized = minimize_network(network)
+        for row in range(8):
+            assignment = {
+                "a": row & 1, "b": (row >> 1) & 1, "c": (row >> 2) & 1
+            }
+            assert network.evaluate(assignment)["f"] == minimized.evaluate(assignment)["f"]
+            assert network.evaluate(assignment)["g"] == minimized.evaluate(assignment)["g"]
+
+    def test_literal_count_drops(self):
+        network = parse_blif(self.BLIF)
+        minimized = minimize_network(network)
+        assert literal_count(minimized) < literal_count(network)
+
+    def test_mapping_with_minimize_smaller(self):
+        from repro.techmap import map_network
+
+        network = parse_blif(self.BLIF)
+        plain = map_network(network)
+        minimized = map_network(network, minimize=True)
+        assert minimized.n_gates <= plain.n_gates
+        from repro.sim import exhaustive_equivalent
+
+        assert exhaustive_equivalent(plain, minimized).equivalent

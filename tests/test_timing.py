@@ -1,0 +1,128 @@
+"""Unit tests for static timing analysis and delay models."""
+
+import pytest
+
+from repro.netlist import Circuit
+from repro.timing import (
+    LIBRARY_DELAY,
+    UNIT_DELAY,
+    LibraryDelay,
+    TimingReport,
+    UnitDelay,
+    WireDelay,
+    analyze,
+    critical_delay,
+    critical_path_nets,
+)
+
+
+class TestUnitDelay:
+    def test_depth_equals_unit_delay(self, fig1_circuit):
+        report = analyze(fig1_circuit, UNIT_DELAY)
+        assert report.critical_delay == 2.0
+        assert report.arrival["X"] == 1.0
+        assert report.arrival["F"] == 2.0
+
+    def test_chain(self, deep_chain):
+        report = analyze(deep_chain, UNIT_DELAY)
+        assert report.critical_delay == 6.0
+
+    def test_constants_free(self):
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_gate("one", "CONST1", [])
+        c.add_gate("f", "AND", ["a", "one"])
+        c.add_output("f")
+        report = analyze(c, UNIT_DELAY)
+        assert report.arrival["one"] == 0.0
+        assert report.critical_delay == 1.0
+
+
+class TestLibraryDelay:
+    def test_load_dependent(self, fig1_circuit):
+        # X drives one AND2 input; duplicating the load must slow X's driver.
+        base = LIBRARY_DELAY.gate_delay(fig1_circuit, fig1_circuit.gate("X"))
+        fig1_circuit.add_gate("extra", "AND", ["X", "Y"])
+        fig1_circuit.add_output("extra")
+        loaded = LIBRARY_DELAY.gate_delay(fig1_circuit, fig1_circuit.gate("X"))
+        assert loaded > base
+
+    def test_po_pad_load(self, fig1_circuit):
+        f_delay = LIBRARY_DELAY.gate_delay(fig1_circuit, fig1_circuit.gate("F"))
+        x_delay = LIBRARY_DELAY.gate_delay(fig1_circuit, fig1_circuit.gate("X"))
+        assert f_delay > x_delay  # F carries the output pad load
+
+    def test_repeated_pin_counts_twice(self):
+        c = Circuit("rep")
+        c.add_inputs(["a", "b"])
+        c.add_gate("x", "AND", ["a", "b"])
+        c.add_gate("y", "XOR", ["x", "b"])
+        c.add_gate("z", "AND", ["x", "y"])
+        c.add_output("z")
+        single = LibraryDelay().gate_delay(c, c.gate("x"))
+        c.replace_gate("y", "XOR", ["x", "x"])
+        double = LibraryDelay().gate_delay(c, c.gate("x"))
+        assert double > single  # the second pin on y adds load
+
+
+class TestWireDelay:
+    def test_local_edges_free(self, fig1_circuit):
+        wire = WireDelay(per_level=1.0)
+        lib = LibraryDelay()
+        for gate in fig1_circuit.gates:
+            assert wire.gate_delay(fig1_circuit, gate) == pytest.approx(
+                lib.gate_delay(fig1_circuit, gate)
+            )
+
+    def test_long_edge_charged_to_driver(self, deep_chain):
+        wire = WireDelay(per_level=1.0)
+        lib = LibraryDelay()
+        # Tap n0 (level 1) from a new consumer placed at the chain's end.
+        deep_chain.add_gate("tap", "AND", ["n5", "n0"])
+        deep_chain.add_output("tap")
+        n0 = deep_chain.gate("n0")
+        charged = wire.gate_delay(deep_chain, n0)
+        baseline = lib.gate_delay(deep_chain, n0)
+        # n0 at level 1, tap at level 7 -> span 5.
+        assert charged == pytest.approx(baseline + 5.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            WireDelay(per_level=-1)
+
+
+class TestReports:
+    def test_zero_slack_convention(self, fig1_circuit):
+        report = analyze(fig1_circuit, UNIT_DELAY)
+        assert report.worst_slack() == pytest.approx(0.0)
+        # X and Y both feed F; X path is critical-length, Y too.
+        assert report.slack("F") == pytest.approx(0.0)
+
+    def test_slack_positive_off_critical(self, deep_chain):
+        report = analyze(deep_chain, UNIT_DELAY)
+        # side input s2 joins late: plenty of slack at its entry gate? s2 is
+        # a PI consumed at depth 5 -> slack = required - 0.
+        assert report.slack("s2") > 0
+
+    def test_critical_path_is_connected(self, deep_chain):
+        path = critical_path_nets(deep_chain, UNIT_DELAY)
+        assert path[0] in deep_chain.inputs
+        assert path[-1] == "n5"
+        for upstream, downstream in zip(path, path[1:]):
+            gate = deep_chain.driver(downstream)
+            assert upstream in gate.inputs
+
+    def test_empty_circuit(self):
+        c = Circuit("empty")
+        c.add_input("a")
+        c.add_output("a")
+        assert critical_delay(c, UNIT_DELAY) == 0.0
+
+    def test_slacks_cover_all_nets(self, fig1_circuit):
+        report = analyze(fig1_circuit, UNIT_DELAY)
+        assert set(report.slacks()) == {"A", "B", "C", "D", "X", "Y", "F"}
+
+    def test_default_model_is_wire_aware(self, fig1_circuit):
+        default = analyze(fig1_circuit).critical_delay
+        explicit = analyze(fig1_circuit, WireDelay()).critical_delay
+        assert default == pytest.approx(explicit)
