@@ -14,6 +14,29 @@ import pytest
 from repro.bench import build_benchmark, suite_for_budget
 from repro.fingerprint import find_locations
 
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_TIMEOUT_PLUGIN = True
+except ImportError:
+    _HAVE_TIMEOUT_PLUGIN = False
+
+
+if not _HAVE_TIMEOUT_PLUGIN:
+
+    def pytest_addoption(parser):
+        # Accept pyproject's pytest-timeout keys when the plugin is absent
+        # (tests/conftest.py may have registered them already in a
+        # combined tests+benchmarks run).
+        for name, help_text in (
+            ("timeout", "per-test seconds cap (inert for benchmarks)"),
+            ("timeout_method", "accepted for pytest-timeout compatibility"),
+        ):
+            try:
+                parser.addini(name, help_text, default="0")
+            except ValueError:
+                pass
+
 
 @pytest.fixture(scope="session")
 def suite_names():

@@ -15,6 +15,15 @@ Quickstart::
     print(result.summary())
 """
 
+from .budget import UNLIMITED, Budget, BudgetError
+from .errors import (
+    DesignLoadError,
+    FaultInjectionError,
+    ReproError,
+    TraversalError,
+    VerificationError,
+    annotate,
+)
 from .cells import GENERIC_LIB, Cell, CellLibrary, generic_library
 from .netlist import (
     Circuit,
@@ -28,7 +37,7 @@ from .netlist import (
 )
 from .logic import TruthTable, global_odc, local_odc
 from .sim import check_equivalence, exhaustive_equivalent, random_equivalent
-from .sat import sat_equivalent, solve_cnf
+from .sat import CecVerdict, SatStatus, check, sat_equivalent, solve_cnf
 from .timing import analyze, critical_delay
 from .power import estimate_power, total_power
 from .analysis import Metrics, Overhead, circuit_overhead, measure
@@ -49,11 +58,27 @@ from .fingerprint import (
     trace,
 )
 from .techmap import map_network
-from .flows import FlowResult, fingerprint_flow
+from .flows import (
+    FlowResult,
+    LadderConfig,
+    VerificationReport,
+    VerificationTier,
+    fingerprint_flow,
+    verify_equivalence,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "UNLIMITED",
+    "Budget",
+    "BudgetError",
+    "DesignLoadError",
+    "FaultInjectionError",
+    "ReproError",
+    "TraversalError",
+    "VerificationError",
+    "annotate",
     "GENERIC_LIB",
     "Cell",
     "CellLibrary",
@@ -72,6 +97,9 @@ __all__ = [
     "check_equivalence",
     "exhaustive_equivalent",
     "random_equivalent",
+    "CecVerdict",
+    "SatStatus",
+    "check",
     "sat_equivalent",
     "solve_cnf",
     "analyze",
@@ -98,6 +126,10 @@ __all__ = [
     "trace",
     "map_network",
     "FlowResult",
+    "LadderConfig",
+    "VerificationReport",
+    "VerificationTier",
     "fingerprint_flow",
+    "verify_equivalence",
     "__version__",
 ]

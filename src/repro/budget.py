@@ -1,0 +1,114 @@
+"""Resource budgets for potentially-unbounded computations.
+
+A :class:`Budget` bounds a verification step along three axes — wall-clock
+time, SAT conflicts and SAT decisions — so that a hard miter can never take
+the whole fingerprinting flow down.  Production equivalence checkers treat
+"undecided within budget" as a first-class verdict; this module supplies
+the bookkeeping that makes the same true here.
+
+A :class:`Budget` is an immutable *specification*; call :meth:`Budget.start`
+to obtain a :class:`BudgetClock` that tracks elapsed wall-clock time and
+answers "is anything exhausted yet, and why?".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import ReproError
+
+
+class BudgetError(ReproError, ValueError):
+    """Raised for malformed budget specifications (e.g. negative limits)."""
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Limits for one bounded computation; ``None`` means unlimited.
+
+    Attributes:
+        deadline_s: Wall-clock limit in seconds.
+        max_conflicts: SAT solver conflict limit.
+        max_decisions: SAT solver decision limit.
+    """
+
+    deadline_s: Optional[float] = None
+    max_conflicts: Optional[int] = None
+    max_decisions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for field_name in ("deadline_s", "max_conflicts", "max_decisions"):
+            value = getattr(self, field_name)
+            if value is not None and value < 0:
+                raise BudgetError(
+                    f"{field_name} must be non-negative, got {value}"
+                )
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no axis is bounded."""
+        return (
+            self.deadline_s is None
+            and self.max_conflicts is None
+            and self.max_decisions is None
+        )
+
+    def start(self) -> "BudgetClock":
+        """Begin tracking this budget against the wall clock."""
+        return BudgetClock(self)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.deadline_s is not None:
+            parts.append(f"deadline={self.deadline_s:g}s")
+        if self.max_conflicts is not None:
+            parts.append(f"conflicts<={self.max_conflicts}")
+        if self.max_decisions is not None:
+            parts.append(f"decisions<={self.max_decisions}")
+        return "Budget(" + (", ".join(parts) or "unlimited") + ")"
+
+
+#: Shared no-limit budget (the historical behaviour of every caller).
+UNLIMITED = Budget()
+
+
+class BudgetClock:
+    """A started budget: answers exhaustion queries against live counters."""
+
+    def __init__(self, budget: Budget) -> None:
+        self.budget = budget
+        self._t0 = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`Budget.start`."""
+        return time.monotonic() - self._t0
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds left before the deadline (``None`` when unbounded)."""
+        if self.budget.deadline_s is None:
+            return None
+        return self.budget.deadline_s - self.elapsed()
+
+    def over_deadline(self) -> bool:
+        remaining = self.remaining_seconds()
+        return remaining is not None and remaining <= 0.0
+
+    def exhausted_reason(self, conflicts: int = 0, decisions: int = 0) -> Optional[str]:
+        """Why the budget is spent, or ``None`` while within limits.
+
+        The caller supplies its live conflict/decision counters; wall-clock
+        time is read from this clock.
+        """
+        budget = self.budget
+        if budget.max_conflicts is not None and conflicts >= budget.max_conflicts:
+            return f"conflict limit {budget.max_conflicts} reached"
+        if budget.max_decisions is not None and decisions >= budget.max_decisions:
+            return f"decision limit {budget.max_decisions} reached"
+        if self.over_deadline():
+            return f"deadline {budget.deadline_s:g}s exceeded"
+        return None
+
+
+__all__ = ["Budget", "BudgetClock", "BudgetError", "UNLIMITED"]

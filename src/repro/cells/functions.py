@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
+from ..errors import ReproError
 
 Word = Union[int, np.ndarray]
 
@@ -30,7 +31,7 @@ CONST_KINDS = ("CONST0", "CONST1")
 ALL_KINDS = UNARY_KINDS + MULTI_KINDS + CONST_KINDS
 
 
-class UnknownGateKindError(ValueError):
+class UnknownGateKindError(ReproError, ValueError):
     """Raised when a gate kind string is not one of :data:`ALL_KINDS`."""
 
 

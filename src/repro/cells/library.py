@@ -17,9 +17,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from . import functions
+from ..errors import ReproError
 
 
-class CellNotFoundError(KeyError):
+class CellNotFoundError(ReproError, KeyError):
     """Raised when no cell matches a requested (kind, arity) query."""
 
 

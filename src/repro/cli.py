@@ -6,9 +6,10 @@ Subcommands::
     repro-fp embed <design> --value N -o out.v  emit one fingerprint copy
     repro-fp embed <design> --buyer NAME ...    buyer-keyed copy
     repro-fp extract <suspect> --golden <design>  read a fingerprint back
-    repro-fp verify <left> <right>              equivalence check
+    repro-fp verify <left> <right>              verification ladder (budgeted)
     repro-fp measure <design>                   area / delay / power
     repro-fp audit <design>                     verify every variant (CEC)
+    repro-fp inject <design>                    fault-injection campaign
     repro-fp bench <name> [-o out.v]            emit a suite circuit
     repro-fp tables [quick|medium|full]         regenerate paper tables
 
@@ -26,6 +27,9 @@ import sys
 from typing import Optional
 
 from .analysis import measure
+from .budget import Budget
+from .errors import DesignLoadError, ReproError, annotate
+from .flows import LadderConfig, verify_equivalence
 from .bench import (
     build_benchmark,
     render_figure7,
@@ -51,11 +55,66 @@ from .techmap import map_network
 
 def load_design(path: str) -> Circuit:
     """Read a design file (.blif is parsed and mapped; .v is structural)."""
-    if path.endswith(".blif"):
-        return map_network(read_blif(path))
-    if path.endswith(".v"):
-        return read_verilog(path)
-    raise SystemExit(f"unsupported design extension: {path!r} (.blif or .v)")
+    try:
+        if path.endswith(".blif"):
+            return map_network(read_blif(path))
+        if path.endswith(".v"):
+            return read_verilog(path)
+    except OSError as exc:
+        raise DesignLoadError(
+            f"cannot read {path!r}: {exc}", stage="load"
+        ) from exc
+    except ReproError as exc:
+        raise annotate(exc, stage="load", design=path)
+    raise DesignLoadError(
+        f"unsupported design extension: {path!r} (.blif or .v)", stage="load"
+    )
+
+
+def _ladder_config(args: argparse.Namespace) -> LadderConfig:
+    """Build a LadderConfig from the shared budget/ladder CLI knobs."""
+    return LadderConfig(
+        max_exhaustive_inputs=args.max_exhaustive_inputs,
+        sat_budget=Budget(
+            deadline_s=args.budget_seconds,
+            max_conflicts=args.max_conflicts,
+            max_decisions=args.max_decisions,
+        ),
+        use_sat=not args.no_sat,
+        n_random_vectors=args.random_vectors,
+    )
+
+
+def _add_ladder_options(p: argparse.ArgumentParser) -> None:
+    group = p.add_argument_group(
+        "verification ladder",
+        "exhaustive simulation -> budgeted SAT CEC -> random-simulation "
+        "fallback; a spent budget degrades the verdict instead of hanging",
+    )
+    group.add_argument(
+        "--budget-seconds", type=float, default=30.0, metavar="S",
+        help="wall-clock budget for the SAT tier (default: 30)",
+    )
+    group.add_argument(
+        "--max-conflicts", type=int, default=2_000_000, metavar="N",
+        help="SAT conflict budget (default: 2000000)",
+    )
+    group.add_argument(
+        "--max-decisions", type=int, default=None, metavar="N",
+        help="SAT decision budget (default: unlimited)",
+    )
+    group.add_argument(
+        "--max-exhaustive-inputs", type=int, default=16, metavar="N",
+        help="widest input count simulated exhaustively (default: 16)",
+    )
+    group.add_argument(
+        "--random-vectors", type=int, default=8192, metavar="N",
+        help="vectors for the random fallback tier (default: 8192)",
+    )
+    group.add_argument(
+        "--no-sat", action="store_true",
+        help="skip the SAT tier (straight to random simulation)",
+    )
 
 
 def _cmd_locations(args: argparse.Namespace) -> int:
@@ -133,13 +192,18 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     left = load_design(args.left)
     right = load_design(args.right)
-    result = check_equivalence(left, right)
-    kind = "exhaustive" if result.complete else f"random({result.n_vectors})"
-    if result.equivalent:
-        print(f"EQUIVALENT ({kind})")
+    report = verify_equivalence(left, right, config=_ladder_config(args))
+    print(f"tiers tried: {' -> '.join(report.tiers_tried)}")
+    if report.equivalent:
+        print(f"EQUIVALENT — {report.summary()}")
+        if report.budget_hit:
+            print("note: SAT budget spent; verdict is probabilistic "
+                  f"(confidence {report.confidence:.4f})")
         return 0
-    print(f"NOT equivalent ({kind}); counterexample on {result.output}:")
-    print(f"  {result.counterexample}")
+    print(f"NOT equivalent — {report.summary()}")
+    if report.counterexample is not None:
+        where = f" on {report.output}" if report.output else ""
+        print(f"  counterexample{where}: {report.counterexample}")
     return 1
 
 
@@ -170,6 +234,34 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     for failure in report.failures:
         print(f"  FAILED: slot {failure.target} variant {failure.variant_index}")
     return 0 if report.clean else 1
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from .faultinject import run_netlist_campaign, run_text_campaign
+
+    design = load_design(args.design)
+    report = run_netlist_campaign(
+        [design], trials=args.trials, seed=args.seed
+    )
+    if args.text:
+        from .netlist import write_verilog
+
+        text_report = run_text_campaign(
+            {design.name: write_verilog(design)},
+            parser=read_verilog_text,
+            trials=args.trials,
+            seed=args.seed,
+        )
+        report.records.extend(text_report.records)
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def read_verilog_text(text: str) -> Circuit:
+    """Parse structural Verilog from a string (text-campaign helper)."""
+    from .netlist.verilog import parse_verilog
+
+    return parse_verilog(text)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -222,9 +314,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rename-robust extraction (needs a twin-free golden)")
     p.set_defaults(func=_cmd_extract)
 
-    p = sub.add_parser("verify", help="combinational equivalence check")
+    p = sub.add_parser(
+        "verify",
+        help="combinational equivalence check (budgeted ladder)",
+        description="Check two designs for equivalence via the verification "
+        "ladder: exhaustive simulation when the input count permits, then "
+        "budgeted SAT CEC, then random simulation with an explicit "
+        "confidence figure.  Exhausting the SAT budget degrades the verdict "
+        "rather than hanging the run.",
+    )
     p.add_argument("left")
     p.add_argument("right")
+    _add_ladder_options(p)
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("measure", help="area / delay / power of a design")
@@ -237,6 +338,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("design")
     p.add_argument("--max-variants", type=int, default=None)
     p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser(
+        "inject",
+        help="run a fault-injection campaign against a design",
+        description="Clone the design, inject each netlist mutator "
+        "(stuck-at, gate swap, dangling wire, duplicate driver, "
+        "combinational cycle), push every mutant through the full "
+        "fingerprinting flow, and report whether each fault surfaced as a "
+        "typed error or a verification mismatch.  Exit status 0 means the "
+        "campaign was clean (no untyped exception escaped).",
+    )
+    p.add_argument("design")
+    p.add_argument("--trials", type=int, default=1,
+                   help="injections per (design, mutator) pair (default: 1)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--text", action="store_true",
+                   help="also corrupt the serialized form and re-parse it")
+    p.set_defaults(func=_cmd_inject)
 
     p = sub.add_parser("bench", help="emit a suite benchmark circuit")
     p.add_argument("name")
@@ -254,7 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc.diagnostic()}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

@@ -1,0 +1,147 @@
+"""Unified exception hierarchy for the whole reproduction.
+
+Every error the library raises on purpose derives from :class:`ReproError`,
+so callers (and the CLI) can catch one type and still report *structured*
+diagnostics: which pipeline stage failed, on which design, and which net or
+gate was involved.  The per-module error types (``BlifError``,
+``MappingError``, ``EmbeddingError``, ...) remain where they always lived
+and keep their historical builtin bases (``ValueError``, ``RuntimeError``,
+``KeyError``) for backward compatibility — this module only provides the
+common root and the diagnostic plumbing.
+
+Anything else escaping the library — a raw ``KeyError``, ``RecursionError``
+or the like — is a bug; the fault-injection campaign in
+:mod:`repro.faultinject` exists to hunt those down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ReproError(Exception):
+    """Base class of every intentional error raised by this library.
+
+    Besides the message, an instance can carry structured context:
+
+    ``stage``
+        The pipeline stage that failed (``"parse"``, ``"map"``, ``"embed"``,
+        ``"verify"``, ...).
+    ``design``
+        Name of the design being processed.
+    ``net`` / ``gate``
+        The offending net or gate, when one is known.
+    ``detail``
+        Free-form extra payload (dict-like or string).
+
+    Context is optional and can be attached after the fact with
+    :func:`annotate` as the exception crosses stage boundaries.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *args: Any,
+        stage: Optional[str] = None,
+        design: Optional[str] = None,
+        net: Optional[str] = None,
+        gate: Optional[str] = None,
+        detail: Any = None,
+    ) -> None:
+        super().__init__(message, *args)
+        self.message = message
+        self.stage = stage
+        self.design = design
+        self.net = net
+        self.gate = gate
+        self.detail = detail
+
+    # ------------------------------------------------------------------ #
+    # structured diagnostics
+    # ------------------------------------------------------------------ #
+
+    def context(self) -> Dict[str, Any]:
+        """The non-empty context fields as a plain dict."""
+        fields = {
+            "stage": self.stage,
+            "design": self.design,
+            "net": self.net,
+            "gate": self.gate,
+            "detail": self.detail,
+        }
+        return {key: value for key, value in fields.items() if value is not None}
+
+    def diagnostic(self) -> str:
+        """One-line human-readable diagnostic: ``[stage] type: msg (ctx)``."""
+        parts = []
+        if self.stage:
+            parts.append(f"[{self.stage}]")
+        parts.append(f"{type(self).__name__}: {self.message or str(self)}")
+        extras = [
+            f"{key}={value!r}"
+            for key, value in self.context().items()
+            if key not in ("stage", "detail")
+        ]
+        if extras:
+            parts.append("(" + ", ".join(extras) + ")")
+        return " ".join(parts)
+
+
+def annotate(
+    error: ReproError,
+    *,
+    stage: Optional[str] = None,
+    design: Optional[str] = None,
+    net: Optional[str] = None,
+    gate: Optional[str] = None,
+) -> ReproError:
+    """Fill missing context fields of ``error`` in place and return it.
+
+    Never overwrites context the raising site already provided, so outer
+    stages can re-raise with ``raise annotate(exc, stage="embed") from None``
+    without losing precision.
+    """
+    if stage is not None and getattr(error, "stage", None) is None:
+        error.stage = stage
+    if design is not None and getattr(error, "design", None) is None:
+        error.design = design
+    if net is not None and getattr(error, "net", None) is None:
+        error.net = net
+    if gate is not None and getattr(error, "gate", None) is None:
+        error.gate = gate
+    return error
+
+
+class TraversalError(ReproError):
+    """A graph traversal exceeded its explicit depth/size guard.
+
+    Raised instead of letting Python's :class:`RecursionError` (or an
+    unbounded loop) take the process down on pathological netlists.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection request itself was invalid (not the injected fault)."""
+
+
+class VerificationError(ReproError):
+    """The verification ladder could not produce any verdict at all.
+
+    Note that *undecided within budget* is not an error — it is a
+    first-class verdict; this type covers genuinely broken inputs
+    (port mismatches, malformed circuits) discovered during verification.
+    """
+
+
+class DesignLoadError(ReproError):
+    """A design file could not be read, parsed or mapped."""
+
+
+__all__ = [
+    "ReproError",
+    "annotate",
+    "TraversalError",
+    "FaultInjectionError",
+    "VerificationError",
+    "DesignLoadError",
+]

@@ -1,0 +1,65 @@
+"""Systematic fault injection for the fingerprinting flow (DAVOS-style).
+
+Netlist mutators, serialized-text corruptors, and a campaign harness that
+proves every failure mode surfaces as a typed
+:class:`repro.errors.ReproError` (or a valid, mismatch-flagging result) —
+never a raw ``KeyError``, ``RecursionError`` or a hang.
+"""
+
+from .campaign import (
+    CAMPAIGN_LADDER,
+    CampaignReport,
+    FaultRecord,
+    Outcome,
+    run_netlist_campaign,
+    run_text_campaign,
+)
+from .corruptors import (
+    ALL_CORRUPTORS,
+    CorruptedText,
+    Corruptor,
+    DropLines,
+    DuplicateSection,
+    GarbleCharacters,
+    ShuffleTokens,
+    TruncateText,
+)
+from .mutators import (
+    ALL_MUTATORS,
+    CombinationalCycle,
+    DanglingWire,
+    DuplicateDriver,
+    GateKindSwap,
+    InjectedFault,
+    Mutator,
+    StuckAtNet,
+    functional_mutators,
+    structural_mutators,
+)
+
+__all__ = [
+    "CAMPAIGN_LADDER",
+    "CampaignReport",
+    "FaultRecord",
+    "Outcome",
+    "run_netlist_campaign",
+    "run_text_campaign",
+    "ALL_CORRUPTORS",
+    "CorruptedText",
+    "Corruptor",
+    "DropLines",
+    "DuplicateSection",
+    "GarbleCharacters",
+    "ShuffleTokens",
+    "TruncateText",
+    "ALL_MUTATORS",
+    "CombinationalCycle",
+    "DanglingWire",
+    "DuplicateDriver",
+    "GateKindSwap",
+    "InjectedFault",
+    "Mutator",
+    "StuckAtNet",
+    "functional_mutators",
+    "structural_mutators",
+]

@@ -1,0 +1,247 @@
+"""Netlist-level fault mutators.
+
+Each mutator injects one deliberate defect into a *clone* of a circuit, in
+the spirit of DAVOS-style fault-injection campaigns: structural faults
+(dangling wire, duplicate driver, combinational cycle) must be rejected by
+:meth:`repro.netlist.circuit.Circuit.validate` with a typed
+:class:`~repro.netlist.circuit.NetlistError`, while functional faults
+(stuck-at, gate-kind swap) keep the netlist well-formed and must instead be
+caught downstream by the verification ladder as a MISMATCH.
+
+Structural mutators intentionally bypass the :class:`Circuit` mutation API
+(which refuses to build broken netlists) and corrupt the internal tables
+directly — the point is to prove the *validators* hold, not the builders.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import FaultInjectionError
+from ..netlist.circuit import Circuit, Gate
+
+#: Gate-kind pairs that stay arity-compatible under swapping.
+_KIND_SWAPS = {
+    "AND": "NAND",
+    "NAND": "AND",
+    "OR": "NOR",
+    "NOR": "OR",
+    "XOR": "XNOR",
+    "XNOR": "XOR",
+    "INV": "BUF",
+    "BUF": "INV",
+}
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Record of one injected defect."""
+
+    mutator: str
+    target: str
+    description: str
+    structural: bool  # True -> Circuit.validate() must reject the mutant
+
+
+class Mutator:
+    """Base class: apply one fault to ``circuit`` in place.
+
+    ``structural`` declares the contract: structural mutants must fail
+    validation with a typed error; functional mutants must survive
+    validation and be flagged by equivalence checking instead.
+    """
+
+    #: Whether the injected defect breaks netlist *structure*.
+    structural = False
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def apply(self, circuit: Circuit, rng: random.Random) -> InjectedFault:
+        raise NotImplementedError
+
+    def _fault(self, target: str, description: str) -> InjectedFault:
+        return InjectedFault(self.name, target, description, self.structural)
+
+    @staticmethod
+    def _pick_gate(circuit: Circuit, rng: random.Random, kinds=None) -> Gate:
+        candidates = [
+            g for g in circuit.gates if kinds is None or g.kind in kinds
+        ]
+        if not candidates:
+            raise FaultInjectionError(
+                "no gate eligible for this mutator",
+                design=circuit.name,
+                detail={"mutator_kinds": sorted(kinds) if kinds else None},
+            )
+        return candidates[rng.randrange(len(candidates))]
+
+
+class StuckAtNet(Mutator):
+    """Replace a gate's driver with a constant (stuck-at-0/1 fault).
+
+    Functional fault: the netlist stays valid, but any consumer of the net
+    now sees a constant — the verification ladder must report MISMATCH
+    (unless the net was genuinely redundant, which the campaign accepts as
+    a valid equivalent result).
+    """
+
+    structural = False
+
+    def apply(self, circuit: Circuit, rng: random.Random) -> InjectedFault:
+        gate = self._pick_gate(circuit, rng)
+        value = rng.randrange(2)
+        circuit.replace_gate(gate.name, f"CONST{value}", [])
+        return self._fault(gate.name, f"net {gate.name!r} stuck at {value}")
+
+
+class GateKindSwap(Mutator):
+    """Swap a gate for its complementary kind (AND<->NAND, ...)."""
+
+    structural = False
+
+    def apply(self, circuit: Circuit, rng: random.Random) -> InjectedFault:
+        gate = self._pick_gate(circuit, rng, kinds=set(_KIND_SWAPS))
+        swapped = _KIND_SWAPS[gate.kind]
+        circuit.replace_gate(gate.name, swapped, list(gate.inputs))
+        return self._fault(
+            gate.name, f"gate {gate.name!r} kind {gate.kind} -> {swapped}"
+        )
+
+
+class DanglingWire(Mutator):
+    """Rewire one gate input to a net that nothing drives."""
+
+    structural = True
+
+    def apply(self, circuit: Circuit, rng: random.Random) -> InjectedFault:
+        gate = self._pick_gate(circuit, rng, kinds=None)
+        ghost = "__ghost"
+        index = 0
+        while circuit.has_net(f"{ghost}{index}"):
+            index += 1
+        ghost = f"{ghost}{index}"
+        position = rng.randrange(len(gate.inputs)) if gate.inputs else 0
+        if not gate.inputs:
+            # Constant gates have no inputs to dangle; dangle a PO instead.
+            circuit._outputs.append(ghost)  # noqa: SLF001 — deliberate corruption
+            circuit._touch()
+            return self._fault(ghost, f"primary output {ghost!r} undriven")
+        inputs = list(gate.inputs)
+        inputs[position] = ghost
+        circuit.replace_gate(gate.name, gate.kind, inputs)
+        return self._fault(
+            gate.name, f"gate {gate.name!r} input {position} -> undriven {ghost!r}"
+        )
+
+
+class DuplicateDriver(Mutator):
+    """Force a gate to drive a net that is already a primary input.
+
+    The mutation API refuses this, so the mutator corrupts the gate table
+    directly — modelling an importer bug or bit-flipped in-memory state.
+    """
+
+    structural = True
+
+    def apply(self, circuit: Circuit, rng: random.Random) -> InjectedFault:
+        inputs = circuit.inputs
+        if not inputs:
+            raise FaultInjectionError(
+                "circuit has no primary inputs to double-drive",
+                design=circuit.name,
+            )
+        victim = inputs[rng.randrange(len(inputs))]
+        others = [n for n in inputs if n != victim]
+        cell = circuit.library.find("INV", 1)
+        source = others[rng.randrange(len(others))] if others else victim
+        gate = Gate(name=victim, cell=cell, inputs=(source,))
+        circuit._gates[victim] = gate  # noqa: SLF001 — deliberate corruption
+        circuit._touch()
+        return self._fault(
+            victim, f"primary input {victim!r} also driven by an injected INV"
+        )
+
+
+class CombinationalCycle(Mutator):
+    """Rewire a gate input to a net in its own transitive fanout."""
+
+    structural = True
+
+    def apply(self, circuit: Circuit, rng: random.Random) -> InjectedFault:
+        gates = circuit.gates
+        if not gates:
+            raise FaultInjectionError(
+                "circuit has no gates to cycle", design=circuit.name
+            )
+        order = list(range(len(gates)))
+        rng.shuffle(order)
+        for index in order:
+            gate = gates[index]
+            if not gate.inputs:
+                continue
+            downstream = self._downstream_net(circuit, gate.name)
+            target = downstream if downstream is not None else gate.name
+            position = rng.randrange(len(gate.inputs))
+            inputs = list(gate.inputs)
+            inputs[position] = target
+            circuit.replace_gate(gate.name, gate.kind, inputs)
+            return self._fault(
+                gate.name,
+                f"gate {gate.name!r} input {position} -> {target!r} "
+                f"(closes a combinational cycle)",
+            )
+        raise FaultInjectionError(
+            "no gate with inputs to cycle", design=circuit.name
+        )
+
+    @staticmethod
+    def _downstream_net(circuit: Circuit, net: str) -> Optional[str]:
+        seen = {net}
+        stack = list(circuit.fanouts(net))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(circuit.fanouts(current))
+        seen.discard(net)
+        candidates = sorted(seen)
+        return candidates[0] if candidates else None
+
+
+#: One instance of every netlist mutator class, campaign default order.
+ALL_MUTATORS: Tuple[Mutator, ...] = (
+    StuckAtNet(),
+    GateKindSwap(),
+    DanglingWire(),
+    DuplicateDriver(),
+    CombinationalCycle(),
+)
+
+
+def structural_mutators() -> List[Mutator]:
+    """Mutators whose mutants :meth:`Circuit.validate` must reject."""
+    return [m for m in ALL_MUTATORS if m.structural]
+
+
+def functional_mutators() -> List[Mutator]:
+    """Mutators whose mutants stay structurally valid."""
+    return [m for m in ALL_MUTATORS if not m.structural]
+
+
+__all__ = [
+    "ALL_MUTATORS",
+    "CombinationalCycle",
+    "DanglingWire",
+    "DuplicateDriver",
+    "GateKindSwap",
+    "InjectedFault",
+    "Mutator",
+    "StuckAtNet",
+    "functional_mutators",
+    "structural_mutators",
+]

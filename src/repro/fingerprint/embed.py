@@ -21,9 +21,10 @@ from typing import Dict, List, Optional, Tuple
 from ..netlist.circuit import Circuit, Gate, NetlistError
 from .locations import FingerprintLocation, LocationCatalog
 from .modifications import Slot, Variant
+from ..errors import ReproError
 
 
-class EmbeddingError(ValueError):
+class EmbeddingError(ReproError, ValueError):
     """Invalid slot/variant selection or inconsistent embedding state."""
 
 

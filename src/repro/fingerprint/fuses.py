@@ -26,9 +26,10 @@ from ..netlist.circuit import Circuit
 from .capacity import FingerprintCodec
 from .embed import FingerprintedCircuit
 from .locations import LocationCatalog
+from ..errors import ReproError
 
 
-class FuseError(RuntimeError):
+class FuseError(ReproError, RuntimeError):
     """Illegal fuse operation (re-programming, unknown slot/variant)."""
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .capacity import FingerprintCodec
 from .locations import LocationCatalog
 from .modifications import Slot
+from ..errors import ReproError
 
 
 @dataclass(frozen=True)
@@ -34,7 +35,7 @@ class BuyerRecord:
     assignment: Dict[str, int]
 
 
-class RegistryFullError(RuntimeError):
+class RegistryFullError(ReproError, RuntimeError):
     """The fingerprint space has been exhausted."""
 
 

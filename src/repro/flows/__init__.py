@@ -1,5 +1,20 @@
-"""End-to-end fingerprinting pipelines."""
+"""End-to-end fingerprinting pipelines and the verification ladder."""
 
+from .ladder import (
+    DEFAULT_SAT_BUDGET,
+    LadderConfig,
+    VerificationReport,
+    VerificationTier,
+    verify_equivalence,
+)
 from .pipeline import FlowResult, fingerprint_flow
 
-__all__ = ["FlowResult", "fingerprint_flow"]
+__all__ = [
+    "DEFAULT_SAT_BUDGET",
+    "LadderConfig",
+    "VerificationReport",
+    "VerificationTier",
+    "verify_equivalence",
+    "FlowResult",
+    "fingerprint_flow",
+]

@@ -1,0 +1,242 @@
+"""The verification ladder: budgeted, never-crashing functional verification.
+
+The paper's "without changing the functionality" guarantee needs an
+equivalence check after every embedding, but a complete check can be
+arbitrarily expensive.  Production equivalence checkers therefore treat
+"undecided within budget" as a first-class outcome; this module brings the
+same discipline to the fingerprinting flow with a three-tier ladder:
+
+1. **Exhaustive simulation** — when the input count permits, a complete
+   proof at bit-parallel simulation speed.
+2. **Budgeted SAT CEC** — the miter, solved under a
+   :class:`repro.budget.Budget`; a hard instance returns ``UNDECIDED``
+   instead of hanging.
+3. **Random-simulation fallback** — a probabilistic verdict with an
+   *explicit* confidence estimate, used when the SAT budget is spent.
+
+Every rung records why it did (or did not) decide, so a
+:class:`VerificationReport` is auditable after the fact.  The ladder never
+raises on a timeout — only on genuinely malformed inputs (port mismatches,
+broken netlists), and then always with a typed :class:`repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..budget import Budget
+from ..errors import ReproError, VerificationError, annotate
+from ..netlist.circuit import Circuit
+from ..sat.cec import CecVerdict, check as sat_check
+from ..sat.solver import SolverStats
+from ..sim.equivalence import (
+    EquivalenceResult,
+    exhaustive_equivalent,
+    random_equivalent,
+)
+from ..sim.vectors import MAX_EXHAUSTIVE_INPUTS
+
+
+class VerificationTier(enum.Enum):
+    """Which rung of the ladder produced the verdict."""
+
+    EXHAUSTIVE_SIM = "exhaustive-sim"
+    SAT_CEC = "sat-cec"
+    RANDOM_SIM = "random-sim"
+
+
+#: Default SAT-tier budget: generous for the paper's circuit sizes, but a
+#: hard miter can no longer stall the flow indefinitely.
+DEFAULT_SAT_BUDGET = Budget(deadline_s=30.0, max_conflicts=2_000_000)
+
+
+@dataclass(frozen=True)
+class LadderConfig:
+    """Tuning knobs for :func:`verify_equivalence`.
+
+    Attributes:
+        max_exhaustive_inputs: Widest input count still simulated
+            exhaustively (clamped to the simulator's own packing limit).
+        sat_budget: Resource budget for the SAT CEC tier.
+        use_sat: Disable the SAT tier entirely (straight to random sim).
+        n_random_vectors: Vectors for the random fallback tier.
+        seed: RNG seed for the random tier.
+        detectable_rate: The activation rate ``eps`` used for the headline
+            confidence estimate of the random tier (see
+            :meth:`VerificationReport.confidence_for`).
+    """
+
+    max_exhaustive_inputs: int = 16
+    sat_budget: Budget = field(default_factory=lambda: DEFAULT_SAT_BUDGET)
+    use_sat: bool = True
+    n_random_vectors: int = 8192
+    seed: int = 0
+    detectable_rate: float = 1e-3
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one ladder run.
+
+    ``equivalent`` is the best-effort verdict; ``proven`` says whether it is
+    definitive (exhaustive proof, SAT proof, or a concrete counterexample —
+    mismatches are always definitive).  ``tier`` names the rung that
+    decided, ``reason`` why it was the deciding rung, and ``tiers_tried``
+    the full descent, so a degraded verification is visible, not silent.
+    """
+
+    equivalent: bool
+    proven: bool
+    tier: VerificationTier
+    reason: str
+    confidence: float
+    n_vectors: int = 0
+    counterexample: Optional[Dict[str, int]] = None
+    output: Optional[str] = None
+    sat_stats: Optional[SolverStats] = None
+    budget_hit: bool = False
+    tiers_tried: Tuple[str, ...] = ()
+
+    def confidence_for(self, detectable_rate: float) -> float:
+        """Confidence that a difference of activation rate ``eps`` was caught.
+
+        For the random tier with ``N`` vectors, a functional difference
+        that a uniform vector triggers with probability ``eps`` escapes all
+        of them with probability ``(1 - eps) ** N``; the returned value is
+        one minus that bound.  For proven verdicts this is 1.0.
+        """
+        if self.proven:
+            return 1.0
+        if not 0.0 < detectable_rate <= 1.0:
+            raise ValueError("detectable_rate must be in (0, 1]")
+        return 1.0 - (1.0 - detectable_rate) ** max(self.n_vectors, 0)
+
+    def as_equivalence_result(self) -> EquivalenceResult:
+        """Legacy :class:`EquivalenceResult` view (pre-ladder interface)."""
+        return EquivalenceResult(
+            equivalent=self.equivalent,
+            complete=self.proven,
+            n_vectors=self.n_vectors,
+            counterexample=self.counterexample,
+            output=self.output,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "equivalent" if self.equivalent else "MISMATCH"
+        strength = "proven" if self.proven else f"confidence {self.confidence:.4f}"
+        return f"{verdict} [{self.tier.value}, {strength}] — {self.reason}"
+
+
+def verify_equivalence(
+    left: Circuit,
+    right: Circuit,
+    config: Optional[LadderConfig] = None,
+) -> VerificationReport:
+    """Run the verification ladder on two port-compatible circuits.
+
+    Never raises on a verification timeout: a spent SAT budget simply drops
+    to the random tier.  Malformed inputs raise a typed
+    :class:`~repro.errors.ReproError` (e.g. ``PortMismatchError``,
+    ``NetlistError``) annotated with the ``verify`` stage.
+    """
+    config = config if config is not None else LadderConfig()
+    tried = []
+
+    # ---- tier 1: exhaustive simulation -------------------------------- #
+    n_inputs = len(left.inputs)
+    limit = min(config.max_exhaustive_inputs, MAX_EXHAUSTIVE_INPUTS)
+    if n_inputs <= limit:
+        tried.append(VerificationTier.EXHAUSTIVE_SIM.value)
+        try:
+            result = exhaustive_equivalent(left, right)
+        except ReproError as exc:
+            raise annotate(exc, stage="verify", design=left.name)
+        return VerificationReport(
+            equivalent=result.equivalent,
+            proven=True,
+            tier=VerificationTier.EXHAUSTIVE_SIM,
+            reason=f"{n_inputs} inputs within exhaustive limit {limit}",
+            confidence=1.0,
+            n_vectors=result.n_vectors,
+            counterexample=result.counterexample,
+            output=result.output,
+            tiers_tried=tuple(tried),
+        )
+
+    # ---- tier 2: budgeted SAT CEC ------------------------------------- #
+    budget_hit = False
+    sat_reason = "SAT tier disabled"
+    sat_stats: Optional[SolverStats] = None
+    if config.use_sat:
+        tried.append(VerificationTier.SAT_CEC.value)
+        try:
+            cec = sat_check(left, right, budget=config.sat_budget)
+        except ReproError as exc:
+            raise annotate(exc, stage="verify", design=left.name)
+        sat_stats = cec.stats
+        if cec.verdict is not CecVerdict.UNDECIDED:
+            return VerificationReport(
+                equivalent=cec.equivalent,
+                proven=True,
+                tier=VerificationTier.SAT_CEC,
+                reason=(
+                    f"{n_inputs} inputs exceed exhaustive limit {limit}; "
+                    f"miter resolved within {config.sat_budget}"
+                ),
+                confidence=1.0,
+                counterexample=cec.counterexample,
+                sat_stats=cec.stats,
+                tiers_tried=tuple(tried),
+            )
+        budget_hit = True
+        sat_reason = f"SAT undecided ({cec.reason})"
+
+    # ---- tier 3: random-simulation fallback --------------------------- #
+    tried.append(VerificationTier.RANDOM_SIM.value)
+    try:
+        result = random_equivalent(
+            left, right, n_vectors=config.n_random_vectors, seed=config.seed
+        )
+    except ReproError as exc:
+        raise annotate(exc, stage="verify", design=left.name)
+    proven = not result.equivalent  # a concrete mismatch is definitive
+    report = VerificationReport(
+        equivalent=result.equivalent,
+        proven=proven,
+        tier=VerificationTier.RANDOM_SIM,
+        reason=f"{sat_reason}; fell back to {result.n_vectors} random vectors",
+        confidence=1.0,
+        n_vectors=result.n_vectors,
+        counterexample=result.counterexample,
+        output=result.output,
+        sat_stats=sat_stats,
+        budget_hit=budget_hit,
+        tiers_tried=tuple(tried),
+    )
+    if proven:
+        return report
+    return VerificationReport(
+        equivalent=report.equivalent,
+        proven=False,
+        tier=report.tier,
+        reason=report.reason,
+        confidence=report.confidence_for(config.detectable_rate),
+        n_vectors=report.n_vectors,
+        counterexample=None,
+        output=None,
+        sat_stats=sat_stats,
+        budget_hit=budget_hit,
+        tiers_tried=tuple(tried),
+    )
+
+
+__all__ = [
+    "DEFAULT_SAT_BUDGET",
+    "LadderConfig",
+    "VerificationReport",
+    "VerificationTier",
+    "verify_equivalence",
+]

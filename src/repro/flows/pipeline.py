@@ -6,6 +6,12 @@ capacity analysis → embedding → functional verification → measurement,
 optionally followed by a delay-constrained pruning pass.  This is the
 programmatic equivalent of the paper's "circuit modifier" tool, and the
 object the examples and harness build on.
+
+Robustness contract: every intentional failure leaves the flow as a typed
+:class:`repro.errors.ReproError` annotated with the failing stage and
+design name, and functional verification runs through the budgeted
+:mod:`ladder <repro.flows.ladder>` — a verification timeout degrades the
+verdict (recorded in :attr:`FlowResult.verification`), it never raises.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Dict, Optional, Union
 
 from ..analysis.compare import Overhead, overhead
 from ..analysis.metrics import Metrics, measure
+from ..errors import ReproError, annotate
 from ..fingerprint.capacity import CapacityReport, FingerprintCodec, capacity
 from ..fingerprint.constraints import ConstraintResult, reactive_delay_constrain
 from ..fingerprint.embed import FingerprintedCircuit, embed, full_assignment
@@ -22,8 +29,9 @@ from ..fingerprint.locations import FinderOptions, LocationCatalog, find_locatio
 from ..netlist.blif import parse_blif
 from ..netlist.circuit import Circuit
 from ..netlist.sop import SopNetwork
-from ..sim.equivalence import EquivalenceResult, check_equivalence
+from ..sim.equivalence import EquivalenceResult
 from ..techmap.mapper import map_network
+from .ladder import LadderConfig, VerificationReport, verify_equivalence
 
 
 @dataclass
@@ -40,6 +48,7 @@ class FlowResult:
     overhead: Overhead
     equivalence: Optional[EquivalenceResult]
     constrained: Optional[ConstraintResult] = None
+    verification: Optional[VerificationReport] = None
 
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""
@@ -55,7 +64,9 @@ class FlowResult:
             f"area {self.overhead.area:+.1%}, delay {self.overhead.delay:+.1%}, "
             f"power {self.overhead.power:+.1%}",
         ]
-        if self.equivalence is not None:
+        if self.verification is not None:
+            lines.append(f"verification: {self.verification.summary()}")
+        elif self.equivalence is not None:
             kind = "exhaustive" if self.equivalence.complete else "random"
             verdict = "equivalent" if self.equivalence.equivalent else "MISMATCH"
             lines.append(f"verification ({kind} simulation): {verdict}")
@@ -71,13 +82,24 @@ class FlowResult:
 
 
 def _to_circuit(design: Union[Circuit, SopNetwork, str], map_style: str) -> Circuit:
-    if isinstance(design, Circuit):
-        return design
-    if isinstance(design, SopNetwork):
-        return map_network(design, style=map_style)
-    if isinstance(design, str):
-        return map_network(parse_blif(design), style=map_style)
+    try:
+        if isinstance(design, Circuit):
+            return design
+        if isinstance(design, SopNetwork):
+            return map_network(design, style=map_style)
+        if isinstance(design, str):
+            return map_network(parse_blif(design), style=map_style)
+    except ReproError as exc:
+        raise annotate(exc, stage="load")
     raise TypeError(f"cannot fingerprint object of type {type(design)!r}")
+
+
+def _staged(stage: str, design_name: str, fn, *args, **kwargs):
+    """Run one pipeline stage, annotating any typed error with context."""
+    try:
+        return fn(*args, **kwargs)
+    except ReproError as exc:
+        raise annotate(exc, stage=stage, design=design_name)
 
 
 def fingerprint_flow(
@@ -88,32 +110,45 @@ def fingerprint_flow(
     verify: bool = True,
     map_style: str = "aoi",
     seed: int = 0,
+    ladder: Optional[LadderConfig] = None,
 ) -> FlowResult:
     """Run the full fingerprinting pipeline on ``design``.
 
     ``assignment`` defaults to the paper's maximal embedding (one
     modification per location).  When ``delay_constraint`` is given, the
     reactive heuristic prunes the embedded copy to fit
-    ``(1 + delay_constraint) * baseline_delay``.
+    ``(1 + delay_constraint) * baseline_delay``.  ``ladder`` tunes the
+    budgeted verification ladder (exhaustive sim → budgeted SAT CEC →
+    random-sim fallback); verification budget exhaustion degrades the
+    verdict instead of raising.
     """
     base = _to_circuit(design, map_style)
-    base.validate()
-    catalog = find_locations(base, options)
-    report = capacity(catalog)
+    _staged("validate", base.name, base.validate)
+    catalog = _staged("locate", base.name, find_locations, base, options)
+    report = _staged("capacity", base.name, capacity, catalog)
     codec = FingerprintCodec(catalog)
     chosen = assignment if assignment is not None else full_assignment(base, catalog)
-    copy = embed(base, catalog, chosen)
+    copy = _staged("embed", base.name, embed, base, catalog, chosen)
 
     constrained: Optional[ConstraintResult] = None
     if delay_constraint is not None:
-        constrained = reactive_delay_constrain(copy, delay_constraint, seed=seed)
+        constrained = _staged(
+            "constrain",
+            base.name,
+            reactive_delay_constrain,
+            copy,
+            delay_constraint,
+            seed=seed,
+        )
 
+    verification: Optional[VerificationReport] = None
     equivalence: Optional[EquivalenceResult] = None
     if verify:
-        equivalence = check_equivalence(base, copy.circuit)
+        verification = verify_equivalence(base, copy.circuit, config=ladder)
+        equivalence = verification.as_equivalence_result()
 
-    baseline_metrics = measure(base)
-    fingerprinted_metrics = measure(copy.circuit)
+    baseline_metrics = _staged("measure", base.name, measure, base)
+    fingerprinted_metrics = _staged("measure", base.name, measure, copy.circuit)
     return FlowResult(
         base=base,
         catalog=catalog,
@@ -125,4 +160,5 @@ def fingerprint_flow(
         overhead=overhead(baseline_metrics, fingerprinted_metrics),
         equivalence=equivalence,
         constrained=constrained,
+        verification=verification,
     )

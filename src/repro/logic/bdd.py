@@ -17,9 +17,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cells import functions
 from ..netlist.circuit import Circuit
+from ..errors import ReproError
 
 
-class BddError(ValueError):
+class BddError(ReproError, ValueError):
     """Raised on ordering violations or capacity overflows."""
 
 
@@ -89,64 +90,101 @@ class Bdd:
     # ------------------------------------------------------------------ #
 
     def not_(self, node: int) -> int:
-        """Negation (computed, not complemented-edge)."""
-        if node == self.ZERO:
-            return self.ONE
-        if node == self.ONE:
-            return self.ZERO
-        cached = self._not_cache.get(node)
-        if cached is not None:
-            return cached
-        level, low, high = self._nodes[node]
-        result = self._make(level, self.not_(low), self.not_(high))
-        self._not_cache[node] = result
-        return result
+        """Negation (computed, not complemented-edge).
 
-    def _apply(self, op: str, table: Callable[[int, int], int], a: int, b: int) -> int:
+        Iterative with an explicit stack: BDD depth equals the variable
+        count, so recursion would overflow on wide circuits (a 5,000-input
+        chain must work, not raise ``RecursionError``).
+        """
+
+        def negated(n: int) -> Optional[int]:
+            if n == self.ZERO:
+                return self.ONE
+            if n == self.ONE:
+                return self.ZERO
+            return self._not_cache.get(n)
+
+        done = negated(node)
+        if done is not None:
+            return done
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if negated(current) is not None:
+                stack.pop()
+                continue
+            level, low, high = self._nodes[current]
+            neg_low, neg_high = negated(low), negated(high)
+            if neg_low is None:
+                stack.append(low)
+                continue
+            if neg_high is None:
+                stack.append(high)
+                continue
+            self._not_cache[current] = self._make(level, neg_low, neg_high)
+            stack.pop()
+        return self._not_cache[node]
+
+    def _apply_shortcut(self, op: str, table, a: int, b: int) -> Optional[int]:
+        """Terminal/absorbing-operand result, or ``None`` when undecided."""
         if a <= 1 and b <= 1:
             return table(a, b)
-        key = (op, a, b)
-        cached = self._apply_cache.get(key)
-        if cached is not None:
-            return cached
-        la, lb = self.level_of(a), self.level_of(b)
-        level = min(la, lb)
-        a_low, a_high = (self._nodes[a][1], self._nodes[a][2]) if la == level else (a, a)
-        b_low, b_high = (self._nodes[b][1], self._nodes[b][2]) if lb == level else (b, b)
-        # Short-circuit on terminal operands for the common operators.
         if op == "and":
             if a == self.ZERO or b == self.ZERO:
-                result = self.ZERO
-            elif a == self.ONE:
-                result = b
-            elif b == self.ONE:
-                result = a
-            else:
-                result = self._make(
-                    level,
-                    self._apply(op, table, a_low, b_low),
-                    self._apply(op, table, a_high, b_high),
-                )
+                return self.ZERO
+            if a == self.ONE:
+                return b
+            if b == self.ONE:
+                return a
         elif op == "or":
             if a == self.ONE or b == self.ONE:
-                result = self.ONE
-            elif a == self.ZERO:
-                result = b
-            elif b == self.ZERO:
-                result = a
-            else:
-                result = self._make(
-                    level,
-                    self._apply(op, table, a_low, b_low),
-                    self._apply(op, table, a_high, b_high),
-                )
-        else:
-            result = self._make(
-                level,
-                self._apply(op, table, a_low, b_low),
-                self._apply(op, table, a_high, b_high),
+                return self.ONE
+            if a == self.ZERO:
+                return b
+            if b == self.ZERO:
+                return a
+        return None
+
+    def _apply(self, op: str, table: Callable[[int, int], int], a: int, b: int) -> int:
+        """Memoized apply, iterative (depth is bounded only by ``n_vars``)."""
+        cache = self._apply_cache
+
+        def resolved(x: int, y: int) -> Optional[int]:
+            shortcut = self._apply_shortcut(op, table, x, y)
+            if shortcut is not None:
+                return shortcut
+            return cache.get((op, x, y))
+
+        done = resolved(a, b)
+        if done is not None:
+            return done
+        stack = [(a, b)]
+        while stack:
+            pair = stack[-1]
+            if resolved(*pair) is not None:
+                stack.pop()
+                continue
+            pa, pb = pair
+            la, lb = self.level_of(pa), self.level_of(pb)
+            level = min(la, lb)
+            a_low, a_high = (
+                (self._nodes[pa][1], self._nodes[pa][2]) if la == level else (pa, pa)
             )
-        self._apply_cache[key] = result
+            b_low, b_high = (
+                (self._nodes[pb][1], self._nodes[pb][2]) if lb == level else (pb, pb)
+            )
+            low = resolved(a_low, b_low)
+            if low is None:
+                stack.append((a_low, b_low))
+                continue
+            high = resolved(a_high, b_high)
+            if high is None:
+                stack.append((a_high, b_high))
+                continue
+            cache[(op, pa, pb)] = self._make(level, low, high)
+            stack.pop()
+        result = resolved(a, b)
+        assert result is not None
         return result
 
     def and_(self, a: int, b: int) -> int:
@@ -167,26 +205,48 @@ class Bdd:
         return acc
 
     def restrict(self, node: int, name: str, value: int) -> int:
-        """Cofactor: fix variable ``name`` to ``value``."""
-        target = self._level[name]
+        """Cofactor: fix variable ``name`` to ``value``.
+
+        Iterative: restriction depth equals variable count.  Unknown
+        variables raise :class:`BddError`, not a raw ``KeyError``.
+        """
+        try:
+            target = self._level[name]
+        except KeyError:
+            raise BddError(f"variable {name!r} not in order")
 
         cache: Dict[int, int] = {}
 
-        def walk(n: int) -> int:
+        def resolved(n: int) -> Optional[int]:
             if n <= 1 or self.level_of(n) > target:
                 return n
-            hit = cache.get(n)
-            if hit is not None:
-                return hit
-            level, low, high = self._nodes[n]
-            if level == target:
-                result = high if value else low
-            else:
-                result = self._make(level, walk(low), walk(high))
-            cache[n] = result
-            return result
+            return cache.get(n)
 
-        return walk(node)
+        done = resolved(node)
+        if done is not None:
+            return done
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if resolved(current) is not None:
+                stack.pop()
+                continue
+            level, low, high = self._nodes[current]
+            if level == target:
+                cache[current] = high if value else low
+                stack.pop()
+                continue
+            r_low = resolved(low)
+            if r_low is None:
+                stack.append(low)
+                continue
+            r_high = resolved(high)
+            if r_high is None:
+                stack.append(high)
+                continue
+            cache[current] = self._make(level, r_low, r_high)
+            stack.pop()
+        return cache[node]
 
     def exists(self, node: int, name: str) -> int:
         """Existential quantification over one variable."""
@@ -197,26 +257,41 @@ class Bdd:
         return self.xor(self.restrict(node, name, 0), self.restrict(node, name, 1))
 
     def sat_count(self, node: int) -> int:
-        """Number of satisfying assignments over the full variable order."""
+        """Number of satisfying assignments over the full variable order.
+
+        Iterative post-order: the cache stores each node's count over the
+        variables at positions ``>= level_of(node)``; shifting accounts for
+        variables skipped between a node and its children.
+        """
         n_vars = len(self.variables)
+        if node == self.ZERO:
+            return 0
+        if node == self.ONE:
+            return 1 << n_vars
         cache: Dict[int, int] = {}
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current in cache:
+                stack.pop()
+                continue
+            level, low, high = self._nodes[current]
+            missing = [c for c in (low, high) if c > 1 and c not in cache]
+            if missing:
+                stack.extend(missing)
+                continue
 
-        def count(n: int, level: int) -> int:
-            # Counts assignments of variables at positions >= `level`.
-            if n == self.ZERO:
-                return 0
-            if n == self.ONE:
-                return 1 << (n_vars - level)
-            node_level, low, high = self._nodes[n]
-            key = n
-            cached = cache.get(key)
-            if cached is None:
-                cached = count(low, node_level + 1) + count(high, node_level + 1)
-                cache[key] = cached
-            skipped = node_level - level
-            return cached << skipped
+            def branch_count(child: int) -> int:
+                # Assignments of variables at positions >= level + 1.
+                if child == self.ZERO:
+                    return 0
+                if child == self.ONE:
+                    return 1 << (n_vars - (level + 1))
+                return cache[child] << (self.level_of(child) - (level + 1))
 
-        return count(node, 0)
+            cache[current] = branch_count(low) + branch_count(high)
+            stack.pop()
+        return cache[node] << self.level_of(node)
 
     def pick_assignment(self, node: int) -> Optional[Dict[str, int]]:
         """One satisfying assignment, or ``None`` when unsatisfiable."""

@@ -15,12 +15,13 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cells import functions
+from ..errors import ReproError
 
 #: Largest supported variable count (2**MAX_VARS table rows).
 MAX_VARS = 20
 
 
-class TruthTableError(ValueError):
+class TruthTableError(ReproError, ValueError):
     """Variable mismatch or size overflow in truth-table operations."""
 
 

@@ -18,6 +18,7 @@ from typing import Iterable, List, Optional, Tuple, Union
 
 from .circuit import Circuit
 from .sop import SopError, SopNetwork
+from ..errors import ReproError
 
 _GATE_COVERS = {
     "AND": lambda n: [("1" * n, "1")],
@@ -29,7 +30,7 @@ _GATE_COVERS = {
 }
 
 
-class BlifError(ValueError):
+class BlifError(ReproError, ValueError):
     """Raised for malformed or unsupported BLIF input."""
 
 

@@ -22,9 +22,10 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from ..cells import functions
 from ..cells.library import Cell, CellLibrary
 from ..cells.generic_lib import GENERIC_LIB
+from ..errors import ReproError
 
 
-class NetlistError(ValueError):
+class NetlistError(ReproError, ValueError):
     """Structural error in a netlist (missing driver, cycle, duplicate...)."""
 
 
@@ -324,13 +325,39 @@ class Circuit:
     def validate(self) -> None:
         """Check structural well-formedness; raises :class:`NetlistError`.
 
-        Verifies: every gate input and every primary output is driven (by a
-        gate or a PI), and the gate graph is acyclic.
+        Verifies: no net is driven both by a gate and declared a primary
+        input (double driver), every gate record is internally consistent
+        (map key matches gate name, arity matches the cell), every gate
+        input and every primary output is driven (by a gate or a PI), and
+        the gate graph is acyclic.  The checks also hold against corrupted
+        internal state (as produced by :mod:`repro.faultinject`), not just
+        against misuse of the mutation API.
         """
+        double = sorted(self._input_set & set(self._gates))
+        if double:
+            raise NetlistError(
+                f"net(s) driven by both a gate and a primary input: "
+                f"{double[:5]}",
+                net=double[0],
+            )
+        for name, gate in self._gates.items():
+            if gate.name != name:
+                raise NetlistError(
+                    f"gate table corrupt: key {name!r} holds gate {gate.name!r}",
+                    gate=name,
+                )
+            if len(gate.inputs) != gate.cell.n_inputs:
+                raise NetlistError(
+                    f"gate {name}: cell {gate.cell.name} expects "
+                    f"{gate.cell.n_inputs} inputs, got {len(gate.inputs)}",
+                    gate=name,
+                )
         self.topological_order()  # checks drivers + acyclicity
         for net in self._outputs:
             if not self.has_net(net):
-                raise NetlistError(f"primary output {net!r} has no driver")
+                raise NetlistError(
+                    f"primary output {net!r} has no driver", net=net
+                )
 
     def clone(self, name: Optional[str] = None) -> "Circuit":
         """Deep-copy the netlist (gates are immutable and shared)."""

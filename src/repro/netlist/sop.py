@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from ..errors import ReproError
 
 
-class SopError(ValueError):
+class SopError(ReproError, ValueError):
     """Malformed SOP cover or network structure."""
 
 

@@ -1,21 +1,24 @@
 """CNF, a CDCL SAT solver, Tseitin encoding and SAT-based equivalence."""
 
 from .cnf import Cnf, CnfError
-from .solver import CdclSolver, SatResult, SolverStats, solve_cnf
+from .solver import CdclSolver, SatResult, SatStatus, SolverStats, solve_cnf
 from .tseitin import CircuitEncoding, encode_circuit, encode_gate
-from .cec import CecResult, build_miter, sat_equivalent
+from .cec import CecResult, CecVerdict, build_miter, check, sat_equivalent
 
 __all__ = [
     "Cnf",
     "CnfError",
     "CdclSolver",
     "SatResult",
+    "SatStatus",
     "SolverStats",
     "solve_cnf",
     "CircuitEncoding",
     "encode_circuit",
     "encode_gate",
     "CecResult",
+    "CecVerdict",
     "build_miter",
+    "check",
     "sat_equivalent",
 ]

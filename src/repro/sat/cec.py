@@ -10,22 +10,48 @@ the paper's "without changing the functionality" claim rests on.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..budget import Budget
 from ..netlist.circuit import Circuit
 from ..sim.equivalence import PortMismatchError
 from .solver import CdclSolver, SolverStats
 from .tseitin import CircuitEncoding, _encode_xor2, encode_circuit
 
 
+class CecVerdict(enum.Enum):
+    """Three-valued CEC outcome."""
+
+    EQUIVALENT = "equivalent"
+    NOT_EQUIVALENT = "not_equivalent"
+    UNDECIDED = "undecided"  # budget spent before the miter was resolved
+
+
 @dataclass(frozen=True)
 class CecResult:
-    """Verdict of a SAT-based equivalence check (always definitive)."""
+    """Verdict of a SAT-based equivalence check.
 
-    equivalent: bool
+    ``verdict`` is definitive for EQUIVALENT / NOT_EQUIVALENT; UNDECIDED
+    means the solve budget ran out first (``reason`` names the spent limit)
+    and the caller should fall back to another verification tier.
+    """
+
+    verdict: CecVerdict
     counterexample: Optional[Dict[str, int]]
     stats: SolverStats
+    reason: Optional[str] = None
+
+    @property
+    def equivalent(self) -> bool:
+        """True only for a *proven* equivalence."""
+        return self.verdict is CecVerdict.EQUIVALENT
+
+    @property
+    def decided(self) -> bool:
+        """True when the check reached a definitive verdict."""
+        return self.verdict is not CecVerdict.UNDECIDED
 
 
 def build_miter(left: Circuit, right: Circuit) -> CircuitEncoding:
@@ -63,14 +89,30 @@ def build_miter(left: Circuit, right: Circuit) -> CircuitEncoding:
     return encoding
 
 
-def sat_equivalent(left: Circuit, right: Circuit) -> CecResult:
-    """Complete equivalence check via the miter; SAT model = mismatch."""
+def check(
+    left: Circuit,
+    right: Circuit,
+    budget: Optional[Budget] = None,
+) -> CecResult:
+    """Budgeted equivalence check via the miter; SAT model = mismatch.
+
+    With a ``budget``, a hard miter yields :data:`CecVerdict.UNDECIDED`
+    instead of running unbounded — the caller decides what that means
+    (the verification ladder falls back to random simulation).
+    """
     encoding = build_miter(left, right)
     solver = CdclSolver(encoding.cnf)
-    result = solver.solve()
+    result = solver.solve(budget=budget)
+    if result.unknown:
+        return CecResult(CecVerdict.UNDECIDED, None, result.stats, result.reason)
     if not result.satisfiable:
-        return CecResult(True, None, result.stats)
+        return CecResult(CecVerdict.EQUIVALENT, None, result.stats)
     counterexample = {
         net: int(result.value(encoding.var_of[net])) for net in left.inputs
     }
-    return CecResult(False, counterexample, result.stats)
+    return CecResult(CecVerdict.NOT_EQUIVALENT, counterexample, result.stats)
+
+
+def sat_equivalent(left: Circuit, right: Circuit) -> CecResult:
+    """Complete (unbudgeted) equivalence check; always definitive."""
+    return check(left, right, budget=None)

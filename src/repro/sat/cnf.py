@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
+from ..errors import ReproError
 
 
-class CnfError(ValueError):
+class CnfError(ReproError, ValueError):
     """Malformed clause or DIMACS text."""
 
 

@@ -13,9 +13,11 @@ Internal literal encoding: variable ``v`` (1-based) maps to literals
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..budget import Budget, UNLIMITED
 from .cnf import Cnf
 
 _UNASSIGNED = -1
@@ -43,22 +45,61 @@ class SolverStats:
     max_decision_level: int = 0
 
 
-class SatResult:
-    """Outcome of :meth:`CdclSolver.solve`."""
+class SatStatus(enum.Enum):
+    """Three-valued solver verdict."""
 
-    def __init__(self, satisfiable: bool, model: Optional[Dict[int, bool]], stats: SolverStats):
-        self.satisfiable = satisfiable
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"  # resource budget exhausted before a proof
+
+
+class SatResult:
+    """Outcome of :meth:`CdclSolver.solve`.
+
+    ``status`` is three-valued: :data:`SatStatus.UNKNOWN` means the solver
+    ran out of budget (see :class:`repro.budget.Budget`) before reaching a
+    verdict; ``reason`` then records which limit was hit.  The historical
+    boolean interface (``satisfiable`` / truthiness) maps UNKNOWN to
+    ``False`` — no model is claimed — so pre-budget callers stay correct.
+    """
+
+    def __init__(
+        self,
+        status: Union[SatStatus, bool],
+        model: Optional[Dict[int, bool]],
+        stats: SolverStats,
+        reason: Optional[str] = None,
+    ):
+        if isinstance(status, bool):
+            status = SatStatus.SAT if status else SatStatus.UNSAT
+        self.status = status
         self.model = model
         self.stats = stats
+        self.reason = reason
+
+    @property
+    def satisfiable(self) -> bool:
+        """True only for a proven SAT verdict (with model)."""
+        return self.status is SatStatus.SAT
+
+    @property
+    def unknown(self) -> bool:
+        """True when the budget ran out before a verdict."""
+        return self.status is SatStatus.UNKNOWN
 
     def __bool__(self) -> bool:
-        return self.satisfiable
+        return self.status is SatStatus.SAT
 
     def value(self, var: int) -> bool:
-        """Model value of ``var``; only valid when satisfiable."""
+        """Model value of ``var``; only valid when satisfiable.
+
+        A variable absent from the model (e.g. allocated after the clauses
+        were read, so the solver never saw it constrained) defaults to
+        ``False`` — any completion of the model satisfies the formula.
+        """
         if self.model is None:
-            raise ValueError("no model: formula is unsatisfiable")
-        return self.model[var]
+            raise ValueError(f"no model: solver status is {self.status.value}")
+        return self.model.get(var, False)
 
 
 def _luby(x: int) -> int:
@@ -272,8 +313,20 @@ class CdclSolver:
     # main loop
     # ------------------------------------------------------------------ #
 
-    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
-        """Solve, optionally under external (DIMACS-signed) assumptions."""
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        budget: Optional[Budget] = None,
+    ) -> SatResult:
+        """Solve, optionally under external (DIMACS-signed) assumptions.
+
+        ``budget`` bounds the search: when any limit (wall clock, conflicts,
+        decisions) is hit, the solver stops and returns a
+        :data:`SatStatus.UNKNOWN` result whose ``reason`` names the spent
+        limit — it never raises and never runs unbounded.
+        """
+        clock = (budget if budget is not None else UNLIMITED).start()
+        limited = not clock.budget.unlimited
         if self._trivially_unsat:
             return SatResult(False, None, self.stats)
         head = 0
@@ -304,6 +357,15 @@ class CdclSolver:
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
+                if limited:
+                    reason = clock.exhausted_reason(
+                        self.stats.conflicts, self.stats.decisions
+                    )
+                    if reason is not None:
+                        self._backjump(0)
+                        return SatResult(
+                            SatStatus.UNKNOWN, None, self.stats, reason
+                        )
                 if self._decision_level() <= assumption_level:
                     self._backjump(0)
                     return SatResult(False, None, self.stats)
@@ -327,6 +389,13 @@ class CdclSolver:
                 self._backjump(assumption_level)
                 head = len(self._trail)
                 continue
+            if limited:
+                reason = clock.exhausted_reason(
+                    self.stats.conflicts, self.stats.decisions
+                )
+                if reason is not None:
+                    self._backjump(0)
+                    return SatResult(SatStatus.UNKNOWN, None, self.stats, reason)
             lit = self._pick_branch()
             if lit is None:
                 model = {
@@ -343,6 +412,10 @@ class CdclSolver:
             self._enqueue(lit, None)
 
 
-def solve_cnf(cnf: Cnf, assumptions: Sequence[int] = ()) -> SatResult:
+def solve_cnf(
+    cnf: Cnf,
+    assumptions: Sequence[int] = (),
+    budget: Optional[Budget] = None,
+) -> SatResult:
     """Convenience wrapper: build a solver and run it once."""
-    return CdclSolver(cnf).solve(assumptions)
+    return CdclSolver(cnf).solve(assumptions, budget=budget)

@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..errors import ReproError
 from ..netlist.circuit import Circuit
 from .simulator import Simulator
 from .vectors import (
@@ -44,7 +45,7 @@ class EquivalenceResult:
     output: Optional[str] = None
 
 
-class PortMismatchError(ValueError):
+class PortMismatchError(ReproError, ValueError):
     """Circuits with different port interfaces cannot be compared."""
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 import numpy as np
+from ..errors import ReproError
 
 WORD_BITS = 64
 
@@ -27,7 +28,7 @@ _BASE_PATTERNS = (
 MAX_EXHAUSTIVE_INPUTS = 24
 
 
-class StimulusError(ValueError):
+class StimulusError(ReproError, ValueError):
     """Raised for malformed stimulus requests."""
 
 

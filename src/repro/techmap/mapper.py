@@ -26,9 +26,10 @@ from ..netlist.build import CircuitBuilder
 from ..netlist.circuit import Circuit
 from ..netlist.sop import SopNetwork, SopNode
 from ..netlist.transform import cleanup
+from ..errors import ReproError
 
 
-class MappingError(ValueError):
+class MappingError(ReproError, ValueError):
     """Raised when a network cannot be mapped onto the library."""
 
 

@@ -1,10 +1,70 @@
-"""Shared fixtures: small reference circuits used across the test suite."""
+"""Shared fixtures: small reference circuits used across the test suite.
+
+Also enforces the per-test wall-clock cap.  ``pyproject.toml`` sets
+``timeout = 120`` for pytest-timeout; when that plugin is not installed
+this conftest registers the same ini keys (so pytest does not warn about
+them) and applies the cap itself with ``SIGALRM`` on POSIX main threads.
+Either way a hung solver cannot wedge the whole suite.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import pytest
 
 from repro.netlist import Circuit, CircuitBuilder
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_TIMEOUT_PLUGIN = True
+except ImportError:
+    _HAVE_TIMEOUT_PLUGIN = False
+
+
+if not _HAVE_TIMEOUT_PLUGIN:
+
+    def pytest_addoption(parser):
+        parser.addini("timeout", "per-test seconds cap (SIGALRM fallback)",
+                      default="0")
+        parser.addini("timeout_method",
+                      "accepted for pytest-timeout compatibility; the "
+                      "fallback always uses SIGALRM", default="signal")
+
+    def _fallback_seconds(item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        try:
+            return float(item.config.getini("timeout") or 0)
+        except (TypeError, ValueError):
+            return 0.0
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        seconds = _fallback_seconds(item)
+        usable = (
+            seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not usable:
+            yield
+            return
+
+        def _expired(signum, frame):
+            pytest.fail(f"test exceeded the {seconds:g}s fallback timeout",
+                        pytrace=False)
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

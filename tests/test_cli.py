@@ -33,8 +33,22 @@ class TestLoadDesign:
         assert design.n_gates > 0
 
     def test_unknown_extension(self):
-        with pytest.raises(SystemExit):
+        from repro.errors import DesignLoadError
+
+        with pytest.raises(DesignLoadError) as excinfo:
             load_design("design.json")
+        assert excinfo.value.stage == "load"
+
+    def test_missing_file_fails_typed(self):
+        from repro.errors import DesignLoadError
+
+        with pytest.raises(DesignLoadError):
+            load_design("does_not_exist.v")
+
+    def test_diagnostic_exit_code(self, capsys):
+        assert main(["measure", "design.json"]) == 3
+        err = capsys.readouterr().err
+        assert "[load] DesignLoadError" in err
 
 
 class TestCommands:
@@ -77,6 +91,28 @@ class TestCommands:
         save_verilog(broken, str(right))
         assert main(["verify", str(left), str(right)]) == 1
         assert "NOT equivalent" in capsys.readouterr().out
+
+    def test_verify_ladder_knobs(self, golden_v, tmp_path, capsys):
+        out_v = str(tmp_path / "copy.v")
+        main(["embed", golden_v, "--value", "1", "-o", out_v])
+        assert main([
+            "verify", golden_v, out_v,
+            "--max-exhaustive-inputs", "0",
+            "--max-conflicts", "1",
+            "--random-vectors", "512",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "random-sim" in out
+        assert "SAT budget spent" in out
+
+    def test_verify_no_sat(self, golden_v, capsys):
+        assert main(["verify", golden_v, golden_v, "--no-sat"]) == 0
+        assert "exhaustive-sim" in capsys.readouterr().out
+
+    def test_inject_clean(self, golden_v, capsys):
+        assert main(["inject", golden_v, "--text"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: CLEAN" in out
 
     def test_measure(self, golden_v, capsys):
         assert main(["measure", golden_v]) == 0

@@ -1,0 +1,135 @@
+"""The verification ladder: tier order, degradation, and flow integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.budget import Budget
+from repro.flows import (
+    LadderConfig,
+    VerificationTier,
+    fingerprint_flow,
+    verify_equivalence,
+)
+from repro.netlist import Circuit
+
+
+def _mutate(circuit: Circuit, name: str) -> Circuit:
+    """A functionally different clone (AND -> NAND on one gate)."""
+    mutant = circuit.clone(name)
+    victim = next(g for g in mutant.topological_order() if g.kind == "AND")
+    mutant.replace_gate(victim.name, "NAND", list(victim.inputs))
+    return mutant
+
+
+@pytest.fixture(scope="module")
+def wide_pair():
+    """18 inputs > default exhaustive limit, so the SAT tier is reached."""
+    from repro.bench import RandomLogicSpec, generate
+    from repro.fingerprint import embed, find_locations, full_assignment
+
+    base = generate(
+        RandomLogicSpec(name="wide", n_inputs=18, n_outputs=6,
+                        n_gates=200, seed=5)
+    )
+    catalog = find_locations(base)
+    copy = embed(base, catalog, full_assignment(base, catalog))
+    return base, copy.circuit
+
+
+def test_small_circuit_decided_exhaustively(fig1_circuit, fig1_modified):
+    report = verify_equivalence(fig1_circuit, fig1_modified)
+    assert report.tier is VerificationTier.EXHAUSTIVE_SIM
+    assert report.equivalent and report.proven
+    assert report.confidence == 1.0
+    assert report.tiers_tried == ("exhaustive-sim",)
+
+
+def test_exhaustive_finds_counterexample(fig1_circuit):
+    mutant = _mutate(fig1_circuit, "fig1_broken")
+    report = verify_equivalence(fig1_circuit, mutant)
+    assert not report.equivalent and report.proven
+    assert report.counterexample is not None
+    assert report.tier is VerificationTier.EXHAUSTIVE_SIM
+
+
+def test_wide_circuit_climbs_to_sat(wide_pair):
+    base, copy = wide_pair
+    report = verify_equivalence(base, copy)
+    assert report.tier is VerificationTier.SAT_CEC
+    assert report.equivalent and report.proven
+    assert not report.budget_hit
+    assert report.tiers_tried == ("sat-cec",)
+    assert report.sat_stats is not None
+
+
+def test_starved_budget_falls_to_random(wide_pair):
+    """The acceptance scenario end to end: SAT starved at 1 conflict,
+    the ladder still answers — probabilistically, with the budget hit
+    recorded and both tiers listed."""
+    base, copy = wide_pair
+    config = LadderConfig(
+        sat_budget=Budget(max_conflicts=1), n_random_vectors=4096
+    )
+    report = verify_equivalence(base, copy, config=config)
+    assert report.tier is VerificationTier.RANDOM_SIM
+    assert report.equivalent and not report.proven
+    assert report.budget_hit
+    assert report.tiers_tried == ("sat-cec", "random-sim")
+    assert 0.9 < report.confidence < 1.0
+    assert report.n_vectors == 4096
+
+
+def test_random_tier_mismatch_is_a_proof(wide_pair):
+    base, _ = wide_pair
+    mutant = _mutate(base, "wide_broken")
+    config = LadderConfig(
+        sat_budget=Budget(max_conflicts=1), n_random_vectors=4096
+    )
+    report = verify_equivalence(base, mutant, config=config)
+    assert not report.equivalent
+    assert report.proven  # a found counterexample is a proof either way
+    assert report.counterexample is not None
+
+
+def test_sat_disabled_skips_the_tier(wide_pair):
+    base, copy = wide_pair
+    report = verify_equivalence(base, copy, config=LadderConfig(use_sat=False))
+    assert report.tier is VerificationTier.RANDOM_SIM
+    assert "sat-cec" not in report.tiers_tried
+
+
+def test_confidence_for_scales_with_detectable_rate(wide_pair):
+    base, copy = wide_pair
+    config = LadderConfig(sat_budget=Budget(max_conflicts=1))
+    report = verify_equivalence(base, copy, config=config)
+    assert report.confidence_for(1e-2) > report.confidence_for(1e-4)
+
+
+def test_flow_never_raises_on_verification_timeout(fig1_circuit):
+    """fingerprint_flow must yield a FlowResult even when every proof
+    tier is starved — the second half of the ISSUE's acceptance check."""
+    config = LadderConfig(
+        max_exhaustive_inputs=1,
+        sat_budget=Budget(max_conflicts=1),
+        n_random_vectors=512,
+    )
+    result = fingerprint_flow(fig1_circuit, ladder=config)
+    assert result.verification is not None
+    assert result.verification.tier is VerificationTier.RANDOM_SIM
+    assert result.verification.budget_hit
+    assert result.verification.equivalent
+    # the legacy field stays populated for old callers
+    assert result.equivalence is not None and result.equivalence.equivalent
+
+
+def test_flow_default_ladder_proves(fig1_circuit):
+    result = fingerprint_flow(fig1_circuit)
+    assert result.verification.proven
+    assert "verification" in result.summary()
+
+
+def test_report_summary_mentions_tier(wide_pair):
+    base, copy = wide_pair
+    report = verify_equivalence(base, copy)
+    assert "sat-cec" in report.summary()
