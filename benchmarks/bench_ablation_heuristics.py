@@ -9,7 +9,6 @@ insertions while the reactive pass pays per removal step.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.fingerprint import (
     embed,

@@ -10,17 +10,9 @@ nearly free (same-arity cell swap, no rerouting) but scarce.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import measure, overhead
-from repro.fingerprint import (
-    capacity,
-    embed,
-    find_locations,
-    find_sdc_slots,
-    full_assignment,
-    sdc_embed,
-)
+from repro.fingerprint import capacity, embed, find_sdc_slots, full_assignment, sdc_embed
 from repro.sim import check_equivalence
 
 MAX_SDC_SLOTS = 24  # keep SAT verification bounded per circuit

@@ -9,7 +9,6 @@ quantity is one reactive pruning run at the 5% level.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import CONSTRAINT_LEVELS, render_table3, run_table3
 from repro.fingerprint import embed, full_assignment, reactive_delay_constrain

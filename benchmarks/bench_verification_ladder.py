@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.budget import Budget
-from repro.fingerprint import embed, find_locations, full_assignment
+from repro.fingerprint import embed, full_assignment
 from repro.flows import LadderConfig, VerificationTier, verify_equivalence
 
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Repo check gate: lint (when the linter is installed) + tier-1 tests.
+#
+# Usage: scripts/check.sh [extra pytest args]
+#
+# ruff is optional — offline images may not ship it.  When absent the
+# lint step is skipped with a notice instead of failing, so the tests
+# still gate the change; run `pip install ruff` locally to enable it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks examples scripts
+else
+    echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q "$@"

@@ -16,7 +16,6 @@ applied on construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cells import functions

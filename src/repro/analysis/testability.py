@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..cells import functions
+from ..ir import compile_circuit
 from ..netlist.circuit import Circuit
 
 #: Effort value used for unreachable/undefined cases.
@@ -32,7 +33,7 @@ def controllability(circuit: Circuit) -> Dict[str, Tuple[float, float]]:
     cc: Dict[str, Tuple[float, float]] = {
         net: (1.0, 1.0) for net in circuit.inputs
     }
-    for gate in circuit.topological_order():
+    for gate in compile_circuit(circuit).gates_in_order():
         cc[gate.name] = _gate_controllability(gate.kind, [cc[n] for n in gate.inputs])
     return cc
 
@@ -82,7 +83,7 @@ def observability(
     co: Dict[str, float] = {}
     for net in list(circuit.inputs) + circuit.gate_names():
         co[net] = 0.0 if circuit.is_output(net) else INFINITY
-    for gate in reversed(circuit.topological_order()):
+    for gate in reversed(compile_circuit(circuit).gates_in_order()):
         out_co = co[gate.name]
         if out_co == INFINITY:
             continue

@@ -15,7 +15,6 @@ random vectors otherwise) unless ``verify=False``.
 
 from __future__ import annotations
 
-import math
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -23,9 +22,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis.compare import Overhead, overhead
 from ..analysis.metrics import Metrics, measure
 from ..fingerprint.capacity import CapacityReport, capacity
-from ..fingerprint.constraints import ConstraintResult, reactive_delay_constrain
-from ..fingerprint.embed import FingerprintedCircuit, embed, full_assignment
-from ..fingerprint.locations import FinderOptions, LocationCatalog, find_locations
+from ..fingerprint.constraints import reactive_delay_constrain
+from ..fingerprint.embed import embed, full_assignment
+from ..fingerprint.locations import FinderOptions, find_locations
 from ..sim.equivalence import check_equivalence
 from .suite import PAPER_TABLE2, PAPER_TABLE3, SUITE_ORDER, build_benchmark
 

@@ -36,7 +36,7 @@ from ..flows.ladder import LadderConfig
 from ..flows.pipeline import fingerprint_flow
 from ..netlist.circuit import Circuit
 from .corruptors import ALL_CORRUPTORS, Corruptor
-from .mutators import ALL_MUTATORS, InjectedFault, Mutator
+from .mutators import ALL_MUTATORS, Mutator
 
 
 class Outcome(enum.Enum):

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 import string
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from ..errors import FaultInjectionError
 

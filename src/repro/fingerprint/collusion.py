@@ -19,7 +19,6 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .locations import LocationCatalog
 from .signature import BuyerRegistry
 
 

@@ -21,15 +21,14 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..netlist.circuit import Circuit
 from ..timing.delay_models import DelayModel
 from ..timing.sta import analyze, critical_delay
 from .capacity import capacity
-from .embed import FingerprintedCircuit, full_assignment, representative_slots
+from .embed import FingerprintedCircuit, representative_slots
 from .locations import LocationCatalog
-from .modifications import Slot
 
 
 @dataclass

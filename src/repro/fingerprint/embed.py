@@ -15,12 +15,11 @@ possible).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..netlist.circuit import Circuit, Gate, NetlistError
-from .locations import FingerprintLocation, LocationCatalog
-from .modifications import Slot, Variant
+from ..netlist.circuit import Circuit, Gate
+from .locations import LocationCatalog
+from .modifications import Slot
 from ..errors import ReproError
 
 

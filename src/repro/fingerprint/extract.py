@@ -13,12 +13,12 @@ guessed, supporting the collusion-tracing workflow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..netlist.circuit import Circuit, NetlistError
 from .locations import LocationCatalog
-from .modifications import Slot, Variant, inverter_index, realized_signature
+from .modifications import Slot, inverter_index, realized_signature
 
 
 @dataclass(frozen=True)

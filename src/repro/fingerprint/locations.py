@@ -26,9 +26,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cells import functions
+from ..ir import compile_circuit
 from ..netlist.circuit import Circuit, Gate
 from ..netlist.graph import fanout_free_cone
-from .modifications import Slot, inverter_index, slot_variants
+from .modifications import Slot, slot_variants
 
 
 @dataclass(frozen=True)
@@ -142,7 +143,8 @@ def find_locations(
     """
     options = options or FinderOptions()
     rng = random.Random(options.seed)
-    levels = circuit.levels()
+    compiled = compile_circuit(circuit)
+    levels = compiled.levels_by_name()
     probabilities: Optional[Dict[str, float]] = None
     if options.trigger_choice == "min_activity":
         # Power-aware extension: prefer triggers that rarely sit at the
@@ -182,7 +184,7 @@ def find_locations(
                     break
         return index
 
-    for primary in circuit.topological_order():
+    for primary in compiled.gates_in_order():
         if not functions.has_odc(primary.kind, primary.n_inputs):
             continue
         if len(set(primary.inputs)) != len(primary.inputs):
@@ -213,8 +215,11 @@ def find_locations(
 
         ffc = fanout_free_cone(circuit, root)
         slots: List[Slot] = []
-        for gate in circuit.topological_order():
-            if gate.name not in ffc or gate.name in used_targets:
+        # IR interned IDs are topologically numbered, so the FFC's
+        # members sort into evaluation order directly — no full-netlist
+        # walk per location.
+        for gate in compiled.gates_sorted(ffc):
+            if gate.name in used_targets:
                 continue
             if gate.name in reused_inverters:
                 continue  # some variant reads this inverter's output

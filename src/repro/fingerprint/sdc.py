@@ -40,13 +40,7 @@ from ..netlist.circuit import Circuit, Gate, NetlistError
 from ..sat.cec import sat_equivalent
 from ..sim.equivalence import exhaustive_equivalent
 from ..sim.simulator import Simulator
-from ..sim.vectors import (
-    MAX_EXHAUSTIVE_INPUTS,
-    WORD_BITS,
-    exhaustive_stimulus,
-    exhaustive_vector_count,
-    random_stimulus,
-)
+from ..sim.vectors import MAX_EXHAUSTIVE_INPUTS, exhaustive_stimulus, exhaustive_vector_count, random_stimulus
 
 #: Gate kinds considered for SDC swaps (multi-input, library-backed).
 _SWAPPABLE = ("AND", "OR", "NAND", "NOR", "XOR", "XNOR")

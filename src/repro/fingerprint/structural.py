@@ -24,12 +24,11 @@ removes from our mapped netlists.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..netlist.circuit import Circuit, Gate
 from .extract import ExtractionResult, extract
 from .locations import LocationCatalog
-from .modifications import Slot
 
 #: Widened forms a unary golden gate may take in a fingerprinted suspect.
 _UNARY_WIDENED = {

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..budget import Budget
-from ..errors import ReproError, VerificationError, annotate
+from ..errors import ReproError, annotate
 from ..netlist.circuit import Circuit
 from ..sat.cec import CecVerdict, check as sat_check
 from ..sat.solver import SolverStats

@@ -10,7 +10,7 @@ ODC reasoning on sampled circuits.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..cells import functions
 from ..netlist.circuit import Circuit

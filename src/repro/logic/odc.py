@@ -14,7 +14,7 @@ For standard controlling-value gates the local ODC w.r.t. input ``x`` is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..cells import functions
 from ..netlist.circuit import Circuit, Gate

@@ -12,7 +12,7 @@ by :data:`MAX_VARS` to keep the masks cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..cells import functions
 from ..errors import ReproError

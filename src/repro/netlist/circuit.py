@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..cells import functions
 from ..cells.library import Cell, CellLibrary
 from ..cells.generic_lib import GENERIC_LIB
 from ..errors import ReproError
@@ -231,13 +230,25 @@ class Circuit:
     # cached derived structures
     # ------------------------------------------------------------------ #
 
-    def _cached(self, key: str, compute) -> object:
+    def cached(self, key: str, compute) -> object:
+        """Version-keyed cache for derived structures.
+
+        Returns the cached value for ``key`` when it was computed at the
+        current :attr:`version`; otherwise calls ``compute()``, stores the
+        result, and returns it.  Any structural mutation clears the whole
+        cache, so external analyses (e.g. :func:`repro.ir.compile_circuit`)
+        can hook their derived data into the same invalidation contract as
+        the built-in topological order / fanout / level queries.
+        """
         entry = self._cache.get(key)
         if entry is not None and entry[0] == self._version:
             return entry[1]
         value = compute()
         self._cache[key] = (self._version, value)
         return value
+
+    # Backwards-compatible private alias (pre-IR internal spelling).
+    _cached = cached
 
     def topological_order(self) -> List[Gate]:
         """Gates ordered so every gate follows all of its drivers.

@@ -7,7 +7,7 @@ cone* (FFC), so FFC extraction is on the hot path of location finding.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 import networkx as nx
 

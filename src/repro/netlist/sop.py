@@ -10,7 +10,7 @@ standing in for Berkeley ABC in the paper's flow.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 from ..errors import ReproError
 
 

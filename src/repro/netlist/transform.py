@@ -8,7 +8,7 @@ introduces no dangling logic.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..cells import functions
 from .circuit import Circuit, NetlistError

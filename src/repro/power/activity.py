@@ -10,6 +10,11 @@ Two estimators:
   on random vectors and count toggles between consecutive vectors.  This
   is the reference the analytic pass is tested against.
 
+Both run on the compiled IR (:mod:`repro.ir`): the analytic pass
+evaluates whole per-level kind batches over a flat probability array, and
+the Monte-Carlo pass unpacks the simulator's full value matrix once
+instead of per net.
+
 Under the standard zero-delay random-vector model, a net's switching
 activity is ``2 * p * (1 - p)`` where ``p`` is its 1-probability.
 """
@@ -20,10 +25,10 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..cells import functions
+from ..ir import compile_circuit, kernels
 from ..netlist.circuit import Circuit
 from ..sim.simulator import Simulator
-from ..sim.vectors import WORD_BITS, random_stimulus
+from ..sim.vectors import random_stimulus
 
 
 def propagate_probabilities(
@@ -31,49 +36,61 @@ def propagate_probabilities(
     input_probabilities: Optional[Dict[str, float]] = None,
 ) -> Dict[str, float]:
     """1-probability of every net under the independence assumption."""
-    probs: Dict[str, float] = {}
-    for net in circuit.inputs:
+    compiled = compile_circuit(circuit)
+    probs = np.zeros(compiled.n_nets, dtype=np.float64)
+    for i, net in enumerate(circuit.inputs):
         p = 0.5 if input_probabilities is None else input_probabilities.get(net, 0.5)
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"probability of {net!r} out of range")
-        probs[net] = p
-    for gate in circuit.topological_order():
-        probs[gate.name] = _gate_probability(gate.kind, [probs[n] for n in gate.inputs])
-    return probs
+        probs[i] = p
+    for batch in compiled.batches:
+        probs[batch.out_ids] = _batch_probability(batch, probs)
+    return {name: float(probs[i]) for i, name in enumerate(compiled.names)}
 
 
-def _gate_probability(kind: str, p: list) -> float:
-    if kind == "CONST0":
-        return 0.0
-    if kind == "CONST1":
-        return 1.0
-    if kind == "BUF":
-        return p[0]
-    if kind == "INV":
-        return 1.0 - p[0]
-    base = functions.base_operator(kind)
-    if base == "AND":
-        value = 1.0
-        for pi in p:
-            value *= pi
-    elif base == "OR":
-        value = 1.0
-        for pi in p:
-            value *= 1.0 - pi
+def _batch_probability(batch, probs: np.ndarray) -> np.ndarray:
+    """1-probabilities of one operator-family batch from its fanins.
+
+    Accumulation iterates the (small) arity sequentially, in the same
+    per-input order as the scalar formulas.  Batch rows are sorted by
+    descending true arity, so column ``i`` folds into only the row prefix
+    ``[:col_counts[i]]`` — padded fanin columns (idempotent for
+    simulation words but not under multiplication) are never read, and
+    results stay bit-identical to a per-gate pass.
+    """
+    if batch.op is None:  # constants: invert holds the fill word
+        return np.where(batch.invert != 0, 1.0, 0.0)
+    p = probs[batch.fanins]  # (batch, padded arity)
+    counts = batch.col_counts
+    if batch.op == kernels.OP_AND:
+        value = p[:, 0].copy()
+        for i in range(1, p.shape[1]):
+            n = counts[i]
+            value[:n] *= p[:n, i]
+    elif batch.op == kernels.OP_OR:
+        value = 1.0 - p[:, 0]
+        for i in range(1, p.shape[1]):
+            n = counts[i]
+            value[:n] *= 1.0 - p[:n, i]
         value = 1.0 - value
-    else:  # XOR: probability the parity is odd
-        odd = 0.0
-        for pi in p:
-            odd = odd * (1.0 - pi) + (1.0 - odd) * pi
+    else:  # XOR family (never padded): probability the parity is odd
+        odd = np.zeros(len(p))
+        for i in range(p.shape[1]):
+            odd = odd * (1.0 - p[:, i]) + (1.0 - odd) * p[:, i]
         value = odd
-    if functions.is_inverting(kind):
-        value = 1.0 - value
-    return value
+    return np.where(batch.invert != 0, 1.0 - value, value)
 
 
 def switching_activity(probabilities: Dict[str, float]) -> Dict[str, float]:
     """Per-net toggle rate ``2 p (1-p)`` from 1-probabilities."""
     return {net: 2.0 * p * (1.0 - p) for net, p in probabilities.items()}
+
+
+def _unpacked_bits(matrix: np.ndarray, n_vectors: int) -> np.ndarray:
+    """Unpack a ``(n_nets, words)`` value matrix to ``(n_nets, n_vectors)``."""
+    return np.unpackbits(
+        np.ascontiguousarray(matrix).view(np.uint8), axis=1, bitorder="little"
+    )[:, :n_vectors]
 
 
 def simulate_activity(
@@ -85,16 +102,13 @@ def simulate_activity(
     if n_vectors < 2:
         raise ValueError("need at least two vectors to observe toggles")
     stimulus = random_stimulus(circuit.inputs, n_vectors, seed=seed)
-    values = Simulator(circuit).run(stimulus)
-    activity: Dict[str, float] = {}
+    simulator = Simulator(circuit)
+    matrix = simulator.run_matrix(stimulus)
+    bits = _unpacked_bits(matrix, n_vectors)
+    toggles = np.count_nonzero(bits[:, 1:] != bits[:, :-1], axis=1)
     transitions = n_vectors - 1
-    for net, words in values.items():
-        bits = np.unpackbits(
-            words.view(np.uint8), bitorder="little"
-        )[:n_vectors]
-        toggles = int(np.count_nonzero(bits[1:] != bits[:-1]))
-        activity[net] = toggles / transitions
-    return activity
+    names = simulator.compiled.names
+    return {name: int(toggles[i]) / transitions for i, name in enumerate(names)}
 
 
 def simulated_probabilities(
@@ -104,9 +118,9 @@ def simulated_probabilities(
 ) -> Dict[str, float]:
     """Monte-Carlo 1-probability per net."""
     stimulus = random_stimulus(circuit.inputs, n_vectors, seed=seed)
-    values = Simulator(circuit).run(stimulus)
-    probs: Dict[str, float] = {}
-    for net, words in values.items():
-        bits = np.unpackbits(words.view(np.uint8), bitorder="little")[:n_vectors]
-        probs[net] = float(bits.sum()) / n_vectors
-    return probs
+    simulator = Simulator(circuit)
+    matrix = simulator.run_matrix(stimulus)
+    bits = _unpacked_bits(matrix, n_vectors)
+    ones = bits.sum(axis=1, dtype=np.int64)
+    names = simulator.compiled.names
+    return {name: float(ones[i]) / n_vectors for i, name in enumerate(names)}

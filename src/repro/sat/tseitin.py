@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..ir import compile_circuit
 from ..netlist.circuit import Circuit, Gate
 from .cnf import Cnf
 
@@ -107,15 +108,25 @@ def encode_circuit(
     prefix, so two circuits encoded into the same :class:`CircuitEncoding`
     with different prefixes share those variables — the construction behind
     the equivalence-checking miter.
+
+    Variable numbering is *stable*: every net is pre-interned in the
+    compiled IR's ID order (primary inputs first, then gate outputs
+    topologically), so the same circuit always yields the same
+    net-to-variable map regardless of gate-encoding order, and two
+    encodings of structurally identical circuits are variable-for-variable
+    comparable.
     """
     if encoding is None:
         encoding = CircuitEncoding()
     shared = set(shared_nets)
+    compiled = compile_circuit(circuit)
 
     def net_var(net: str) -> int:
         return encoding.variable(net if net in shared else prefix + net)
 
-    for gate in circuit.topological_order():
+    for net in compiled.names:
+        net_var(net)
+    for gate in compiled.gates_in_order():
         out = net_var(gate.name)
         ins = [net_var(n) for n in gate.inputs]
         _encode(encoding.cnf, gate.kind, out, ins)

@@ -9,6 +9,12 @@ bit-parallel: the fanout cone of ``n`` is re-simulated once with the
 net's packed words complemented, and output differences are counted per
 vector.
 
+Flip re-simulation is restricted to the precomputed fanout cone from the
+compiled IR (:mod:`repro.ir`) — the cone members, in interned-ID order,
+*are* a topological evaluation order — so per-net cost is O(cone), not
+O(gates), and scanning every net of a design no longer re-walks the full
+``circuit.topological_order()`` per flip.
+
 This is the engine behind the reproduction's strongest empirical check of
 the paper's core claim: *whenever the ODC trigger sits at the primary
 gate's controlling value, the fingerprinted cone is unobservable* — see
@@ -17,14 +23,15 @@ gate's controlling value, the fingerprinted cone is unobservable* — see
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..cells import functions
+from ..ir import compile_circuit
+from ..ir.kernels import eval_gate
 from ..netlist.circuit import Circuit
 from .simulator import Simulator
-from .vectors import WORD_BITS, random_stimulus
+from .vectors import random_stimulus
 
 
 def _resimulate_with_flip(
@@ -33,20 +40,15 @@ def _resimulate_with_flip(
     net: str,
 ) -> Dict[str, np.ndarray]:
     """Values of the fanout cone of ``net`` with ``net`` complemented."""
-    flipped: Dict[str, np.ndarray] = {net: ~values[net]}
-    for gate in circuit.topological_order():
-        if gate.name == net or gate.name in flipped:
-            continue
-        if not any(n in flipped for n in gate.inputs):
-            continue
-        operands = [flipped.get(n, values[n]) for n in gate.inputs]
-        if gate.kind == "CONST0":
-            continue
-        if gate.kind == "CONST1":
-            continue
-        flipped[gate.name] = np.asarray(
-            functions.evaluate(gate.kind, operands), dtype=np.uint64
-        )
+    compiled = compile_circuit(circuit)
+    flipped: Dict[str, np.ndarray] = {net: ~np.asarray(values[net], dtype=np.uint64)}
+    for gate_id in compiled.fanout_cone(net):
+        gate = compiled.gate_of(gate_id)
+        operands = [
+            flipped[name] if name in flipped else values[name]
+            for name in gate.inputs
+        ]
+        flipped[gate.name] = eval_gate(int(compiled.kinds[gate_id]), operands)
     return flipped
 
 

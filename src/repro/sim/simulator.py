@@ -5,6 +5,13 @@ words (see :mod:`repro.sim.vectors`), evaluating 64 test vectors per numpy
 word per gate.  This is the workhorse behind functional-equivalence
 checking of fingerprinted copies and behind switching-activity estimation
 for the power model.
+
+Evaluation runs on the compiled IR (:mod:`repro.ir`): gates are grouped
+into per-level, per-kind batches and each batch evaluates across all its
+gates and stimulus words in one numpy reduction, instead of a per-gate
+Python loop with string dispatch.  The IR is cached on the circuit's
+version, so repeated runs against an unmodified circuit pay compilation
+once.
 """
 
 from __future__ import annotations
@@ -13,7 +20,8 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..cells import functions
+from ..ir import CompiledCircuit, compile_circuit
+from ..ir.kernels import popcount
 from ..netlist.circuit import Circuit
 from .vectors import WORD_BITS, StimulusError
 
@@ -23,20 +31,46 @@ _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 class Simulator:
     """Reusable simulator bound to one circuit.
 
-    The topological order is computed once per circuit version; repeated
-    :meth:`run` calls with different stimuli reuse it.
+    The compiled IR is (re)requested per run and cached on the circuit's
+    version, so repeated :meth:`run` calls with different stimuli reuse
+    one compilation until the circuit is structurally edited.
     """
 
     def __init__(self, circuit: Circuit) -> None:
         self.circuit = circuit
-        self._order = None
-        self._order_version = -1
 
-    def _topology(self):
-        if self._order_version != self.circuit.version:
-            self._order = self.circuit.topological_order()
-            self._order_version = self.circuit.version
-        return self._order
+    @property
+    def compiled(self) -> CompiledCircuit:
+        """The circuit's compiled IR (current version)."""
+        return compile_circuit(self.circuit)
+
+    def _input_rows(self, stimulus: Dict[str, np.ndarray]) -> np.ndarray:
+        """Validate the stimulus and pack it into a ``(n_inputs, words)`` matrix."""
+        circuit = self.circuit
+        arrays = []
+        lengths = set()
+        for name in circuit.inputs:
+            if name not in stimulus:
+                raise StimulusError(f"stimulus missing primary input {name!r}")
+            words = np.asarray(stimulus[name], dtype=np.uint64)
+            lengths.add(len(words))
+            arrays.append(words)
+        if len(lengths) > 1:
+            raise StimulusError("stimulus arrays have differing lengths")
+        width = lengths.pop() if lengths else 1
+        rows = np.empty((len(arrays), width), dtype=np.uint64)
+        for i, words in enumerate(arrays):
+            rows[i] = words
+        return rows
+
+    def run_matrix(self, stimulus: Dict[str, np.ndarray]) -> np.ndarray:
+        """Simulate and return the full ``(n_nets, words)`` value matrix.
+
+        Row ``i`` holds the packed values of net ``self.compiled.names[i]``;
+        use :attr:`compiled` to translate names and IDs.  This is the
+        zero-copy interface the observability and power engines build on.
+        """
+        return self.compiled.run_matrix(self._input_rows(stimulus))
 
     def run(
         self,
@@ -46,36 +80,14 @@ class Simulator:
         """Simulate and return packed values for ``nets`` (default: all).
 
         ``stimulus`` must provide one word array per primary input, all of
-        equal length.
+        equal length.  Returned arrays are row views into one shared value
+        matrix; treat them as read-only.
         """
-        circuit = self.circuit
-        lengths = set()
-        values: Dict[str, np.ndarray] = {}
-        for name in circuit.inputs:
-            if name not in stimulus:
-                raise StimulusError(f"stimulus missing primary input {name!r}")
-            words = np.asarray(stimulus[name], dtype=np.uint64)
-            lengths.add(len(words))
-            values[name] = words
-        if len(lengths) > 1:
-            raise StimulusError("stimulus arrays have differing lengths")
-        width = lengths.pop() if lengths else 1
-
-        for gate in self._topology():
-            kind = gate.kind
-            if kind == "CONST0":
-                values[gate.name] = np.zeros(width, dtype=np.uint64)
-                continue
-            if kind == "CONST1":
-                values[gate.name] = np.full(width, _ALL_ONES, dtype=np.uint64)
-                continue
-            operands = [values[n] for n in gate.inputs]
-            values[gate.name] = np.asarray(
-                functions.evaluate(kind, operands), dtype=np.uint64
-            )
+        compiled = self.compiled
+        values = compiled.run_matrix(self._input_rows(stimulus))
         if nets is None:
-            return values
-        return {net: values[net] for net in nets}
+            return dict(zip(compiled.names, values))
+        return {net: values[compiled.id_of(net)] for net in nets}
 
     def run_outputs(self, stimulus: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Simulate and return primary-output values only."""
@@ -101,19 +113,20 @@ def simulate(
 
 
 def count_ones(words: np.ndarray, n_vectors: Optional[int] = None) -> int:
-    """Population count across packed words, truncated to ``n_vectors``."""
+    """Population count across packed words, truncated to ``n_vectors``.
+
+    Vectorized popcount (``np.bitwise_count`` when the numpy build has it,
+    a 16-bit lookup table otherwise) — no ``np.unpackbits`` round-trip.
+    """
     words = np.asarray(words, dtype=np.uint64)
-    if n_vectors is not None:
-        total_bits = len(words) * WORD_BITS
-        if n_vectors > total_bits:
-            raise StimulusError("n_vectors exceeds packed width")
-        full, rem = divmod(n_vectors, WORD_BITS)
-        count = 0
-        view = words[:full].view(np.uint8) if full else np.empty(0, dtype=np.uint8)
-        count += int(np.unpackbits(view).sum()) if full else 0
-        if rem:
-            mask = (np.uint64(1) << np.uint64(rem)) - np.uint64(1)
-            count += bin(int(words[full] & mask)).count("1")
-        return count
-    view = words.view(np.uint8)
-    return int(np.unpackbits(view).sum())
+    if n_vectors is None:
+        return int(popcount(words).sum())
+    total_bits = len(words) * WORD_BITS
+    if n_vectors > total_bits:
+        raise StimulusError("n_vectors exceeds packed width")
+    full, rem = divmod(n_vectors, WORD_BITS)
+    count = int(popcount(words[:full]).sum()) if full else 0
+    if rem:
+        mask = (np.uint64(1) << np.uint64(rem)) - np.uint64(1)
+        count += int(popcount(words[full] & mask))
+    return count

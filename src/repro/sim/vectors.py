@@ -7,7 +7,7 @@ input's value in test vector ``w * 64 + b``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 from ..errors import ReproError

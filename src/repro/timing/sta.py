@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..ir import compile_circuit
 from ..netlist.circuit import Circuit
 from .delay_models import DEFAULT_DELAY_MODEL, DelayModel
 
@@ -49,7 +50,7 @@ def analyze(circuit: Circuit, model: Optional[DelayModel] = None) -> TimingRepor
     edge_fn = getattr(model, "edge_delay", None)
     arrival: Dict[str, float] = {net: 0.0 for net in circuit.inputs}
     gate_delays: Dict[str, float] = {}
-    order = circuit.topological_order()
+    order = compile_circuit(circuit).gates_in_order()
     for gate in order:
         delay = model.gate_delay(circuit, gate)
         gate_delays[gate.name] = delay

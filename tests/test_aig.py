@@ -16,7 +16,7 @@ from repro.aig import (
     strash_equivalent,
 )
 from repro.bench import RandomLogicSpec, generate
-from repro.sim import Simulator, exhaustive_equivalent
+from repro.sim import exhaustive_equivalent
 
 
 class TestConstruction:

@@ -11,7 +11,7 @@ from repro.bench import (
     sec_network,
     simple_alu,
 )
-from repro.sim import Simulator, random_stimulus
+from repro.sim import Simulator
 
 
 class TestMultiplier:

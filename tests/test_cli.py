@@ -6,7 +6,6 @@ import pytest
 
 from repro.cli import load_design, main
 from repro.netlist import save_verilog, write_blif
-from repro.bench import build_benchmark
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for whole-catalog formal auditing."""
 
-import pytest
 
 from repro.fingerprint import audit_catalog, find_locations
 from repro.bench import build_benchmark

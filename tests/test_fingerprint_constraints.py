@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.fingerprint import (
-    FingerprintedCircuit,
-    embed,
-    find_locations,
-    full_assignment,
-    proactive_delay_constrain,
-    reactive_delay_constrain,
-)
+from repro.fingerprint import embed, find_locations, full_assignment, proactive_delay_constrain, reactive_delay_constrain
 from repro.sim import check_equivalence
 from repro.timing import critical_delay
 from repro.bench import build_benchmark

@@ -2,16 +2,7 @@
 
 import pytest
 
-from repro.fingerprint import (
-    FingerprintCodec,
-    FuseError,
-    FuseProductionLine,
-    FuseProgrammableDesign,
-    UNPROGRAMMED,
-    embed,
-    extract,
-    find_locations,
-)
+from repro.fingerprint import FuseError, FuseProductionLine, UNPROGRAMMED, embed, extract, find_locations
 from repro.sim import check_equivalence, exhaustive_equivalent
 from repro.bench import build_benchmark
 

@@ -1,6 +1,5 @@
 """Unit tests for the fingerprint modification catalogue (Figs. 4 & 5)."""
 
-import pytest
 
 from repro.cells import GENERIC_LIB
 from repro.netlist import Circuit

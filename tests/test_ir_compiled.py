@@ -1,0 +1,194 @@
+"""Unit tests for the compiled-circuit IR (:mod:`repro.ir`).
+
+Covers the interning contract (PIs first, gate outputs in topological
+order, fanins always below their gate), CSR adjacency, levels, batch
+construction invariants, cone queries against the graph-module reference,
+and version-keyed cache invalidation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.random_logic import RandomLogicSpec, generate
+from repro.ir import CompiledCircuit, compile_circuit, kernels
+from repro.ir.kernels import popcount, popcount_lut
+from repro.netlist.circuit import Circuit
+from repro.netlist.graph import transitive_fanout
+
+
+def small_circuit() -> Circuit:
+    c = Circuit("ir_small")
+    c.add_inputs(["a", "b", "c", "d"])
+    c.add_gate("n1", "NAND", ["a", "b"])
+    c.add_gate("n2", "NOR", ["c", "d"])
+    c.add_gate("n3", "XOR", ["n1", "n2"])
+    c.add_gate("n4", "INV", ["n3"])
+    c.add_gate("n5", "AND", ["n1", "n2", "n3"])
+    c.add_gate("k0", "CONST0", [])
+    c.add_gate("n6", "OR", ["n5", "k0"])
+    c.add_output("n4")
+    c.add_output("n6")
+    return c
+
+
+def random_circuit(seed: int, n_gates: int = 150) -> Circuit:
+    spec = RandomLogicSpec(
+        name=f"ir_rand_{seed}", n_inputs=12, n_outputs=5,
+        n_gates=n_gates, seed=seed,
+    )
+    return generate(spec)
+
+
+class TestInterning:
+    def test_inputs_come_first_in_declaration_order(self):
+        c = small_circuit()
+        ir = compile_circuit(c)
+        assert list(ir.names[: ir.n_inputs]) == c.inputs
+        assert all(ir.is_input_id(i) for i in range(ir.n_inputs))
+        assert not ir.is_input_id(ir.n_inputs)
+
+    def test_gates_follow_in_topological_order(self):
+        c = small_circuit()
+        ir = compile_circuit(c)
+        topo = [g.name for g in c.topological_order()]
+        assert list(ir.names[ir.n_inputs:]) == topo
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fanins_precede_their_gate(self, seed):
+        ir = compile_circuit(random_circuit(seed))
+        for out in range(ir.n_inputs, ir.n_nets):
+            row = ir.fanin_row(out)
+            assert (row < out).all()
+
+    def test_id_name_roundtrip(self):
+        ir = compile_circuit(small_circuit())
+        for net_id, name in enumerate(ir.names):
+            assert ir.id_of(name) == net_id
+            assert ir.name_of(net_id) == name
+
+    def test_gate_of_returns_the_driving_gate(self):
+        c = small_circuit()
+        ir = compile_circuit(c)
+        for gate in c.gates:
+            assert ir.gate_of(ir.id_of(gate.name)) is c.gate(gate.name)
+
+
+class TestAdjacency:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fanin_rows_match_gate_inputs(self, seed):
+        c = random_circuit(seed)
+        ir = compile_circuit(c)
+        for gate in c.gates:
+            row = ir.fanin_row(ir.id_of(gate.name))
+            assert [ir.name_of(int(i)) for i in row] == list(gate.inputs)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fanout_rows_match_circuit_fanouts(self, seed):
+        c = random_circuit(seed)
+        ir = compile_circuit(c)
+        for name in list(c.inputs) + c.gate_names():
+            net_id = ir.id_of(name)
+            consumers = sorted(ir.name_of(int(i)) for i in ir.fanout_row(net_id))
+            assert consumers == sorted(c.fanouts(name))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_levels_match_circuit_levels(self, seed):
+        c = random_circuit(seed)
+        ir = compile_circuit(c)
+        assert ir.levels_by_name() == c.levels()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fanout_cone_matches_graph_reference(self, seed):
+        c = random_circuit(seed)
+        ir = compile_circuit(c)
+        nets = (list(c.inputs) + c.gate_names())[::7]
+        for net in nets:
+            cone = {ir.name_of(int(i)) for i in ir.fanout_cone(net)}
+            assert cone == transitive_fanout(c, net) - {net}
+
+    def test_fanout_cone_is_an_evaluation_order(self):
+        ir = compile_circuit(random_circuit(3))
+        cone = ir.fanout_cone(ir.names[0])
+        assert (np.diff(cone) > 0).all()  # ascending IDs == topological
+
+
+class TestBatches:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batches_cover_every_gate_exactly_once(self, seed):
+        c = random_circuit(seed)
+        ir = compile_circuit(c)
+        seen = np.concatenate([b.out_ids for b in ir.batches])
+        assert sorted(seen.tolist()) == list(range(ir.n_inputs, ir.n_nets))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batch_rows_sorted_and_col_counts_consistent(self, seed):
+        ir = compile_circuit(random_circuit(seed))
+        for b in ir.batches:
+            if b.op is None:
+                continue
+            assert (np.diff(b.arities) <= 0).all()  # descending true arity
+            for i in range(b.arity):
+                assert b.col_counts[i] == int(np.count_nonzero(b.arities > i))
+            # Padded positions repeat the last real fanin.
+            for row, real in zip(b.fanins, b.arities):
+                assert (row[int(real):] == row[int(real) - 1]).all()
+
+    def test_xor_batches_are_never_padded(self):
+        ir = compile_circuit(random_circuit(1))
+        for b in ir.batches:
+            if b.op == kernels.OP_XOR:
+                assert (b.arities == b.arity).all()
+
+    def test_levels_nondecreasing_across_schedule(self):
+        ir = compile_circuit(random_circuit(2))
+        levels = [b.level for b in ir.batches]
+        assert levels == sorted(levels)
+
+
+class TestCaching:
+    def test_compile_is_cached_on_version(self):
+        c = small_circuit()
+        assert compile_circuit(c) is compile_circuit(c)
+
+    def test_structural_edit_invalidates(self):
+        c = small_circuit()
+        before = compile_circuit(c)
+        c.add_gate("n7", "INV", ["n6"])
+        after = compile_circuit(c)
+        assert after is not before
+        assert "n7" in after.names
+        assert "n7" not in before.names
+
+    def test_fresh_compile_sees_new_topology(self):
+        c = small_circuit()
+        compile_circuit(c)
+        c.add_gate("n7", "AND", ["n1", "n2"])
+        ir = compile_circuit(c)
+        row = ir.fanin_row(ir.id_of("n7"))
+        assert [ir.name_of(int(i)) for i in row] == ["n1", "n2"]
+
+    def test_direct_construction_bypasses_cache(self):
+        c = small_circuit()
+        assert CompiledCircuit(c) is not CompiledCircuit(c)
+
+
+class TestKernels:
+    def test_eval_gate_matches_eval_batch(self):
+        rng = np.random.default_rng(5)
+        operands = rng.integers(0, 2**63, size=(1, 3, 4), dtype=np.uint64)
+        rows = [operands[0, i] for i in range(3)]
+        for kind, code in kernels.KIND_CODE.items():
+            if kind.startswith("CONST"):
+                continue
+            arity = 1 if kind in ("BUF", "INV") else 3
+            batch_out = kernels.eval_batch(code, operands[:, :arity, :])[0]
+            gate_out = kernels.eval_gate(code, rows[:arity])
+            assert np.array_equal(batch_out, gate_out), kind
+
+    def test_popcount_agrees_with_lut(self):
+        rng = np.random.default_rng(6)
+        words = rng.integers(0, 2**63, size=257, dtype=np.uint64)
+        words[0] = 0
+        words[1] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert np.array_equal(popcount(words), popcount_lut(words))
+        assert int(popcount(words[1])) == 64

@@ -1,0 +1,249 @@
+"""IR-vs-legacy equivalence properties on randomized circuits.
+
+The compiled-IR refactor must be a pure representation change: simulation
+words, observability words, STA arrival times, and analytic signal
+probabilities must match the seed's per-gate reference implementations
+*bit for bit* — not approximately — on randomized layered circuits from
+:mod:`repro.bench.random_logic`, including after structural edits (which
+must invalidate the version-keyed compilation cache).
+
+The reference implementations below are the seed algorithms, kept
+verbatim: a dict-based per-gate simulation loop, a full-netlist flip
+re-walk, a scalar arrival-time pass, and scalar probability formulas.
+"""
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.bench.random_logic import RandomLogicSpec, generate
+from repro.cells import functions
+from repro.netlist.circuit import Circuit
+from repro.power.activity import propagate_probabilities, simulate_activity
+from repro.sim.observability import observability_words
+from repro.sim.simulator import Simulator
+from repro.sim.vectors import random_stimulus
+from repro.timing.sta import DEFAULT_DELAY_MODEL, analyze
+
+SEEDS = (0, 1, 2, 3)
+
+N_VECTORS = 512
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def random_circuit(seed: int, n_gates: int = 160) -> Circuit:
+    spec = RandomLogicSpec(
+        name=f"eq_rand_{seed}", n_inputs=10, n_outputs=4,
+        n_gates=n_gates, seed=seed,
+    )
+    return generate(spec)
+
+
+def mutate(circuit: Circuit) -> None:
+    """A structural edit touching both new and existing logic."""
+    a, b = circuit.inputs[0], circuit.inputs[-1]
+    circuit.add_gate("mut_and", "AND", [a, b])
+    circuit.add_gate("mut_xor", "XOR", ["mut_and", circuit.gate_names()[0]])
+    circuit.add_output("mut_xor")
+
+
+# --------------------------------------------------------------------- #
+# Seed reference implementations (kept verbatim from the pre-IR code)
+# --------------------------------------------------------------------- #
+
+
+def reference_run(circuit: Circuit, stimulus) -> Dict[str, np.ndarray]:
+    values = {
+        name: np.asarray(stimulus[name], dtype=np.uint64)
+        for name in circuit.inputs
+    }
+    width = len(next(iter(values.values()))) if values else 1
+    for gate in circuit.topological_order():
+        if gate.kind == "CONST0":
+            values[gate.name] = np.zeros(width, dtype=np.uint64)
+            continue
+        if gate.kind == "CONST1":
+            values[gate.name] = np.full(width, _ALL_ONES, dtype=np.uint64)
+            continue
+        operands = [values[n] for n in gate.inputs]
+        values[gate.name] = np.asarray(
+            functions.evaluate(gate.kind, operands), dtype=np.uint64
+        )
+    return values
+
+
+def reference_observability(circuit, values, net) -> np.ndarray:
+    flipped = {net: ~values[net]}
+    for gate in circuit.topological_order():
+        if gate.name == net or gate.kind in ("CONST0", "CONST1"):
+            continue
+        if not any(n in flipped for n in gate.inputs):
+            continue
+        operands = [flipped.get(n, values[n]) for n in gate.inputs]
+        flipped[gate.name] = np.asarray(
+            functions.evaluate(gate.kind, operands), dtype=np.uint64
+        )
+    width = len(next(iter(values.values())))
+    difference = np.zeros(width, dtype=np.uint64)
+    for output in circuit.outputs:
+        if output in flipped:
+            difference |= values[output] ^ flipped[output]
+        elif output == net:
+            difference |= ~np.zeros(width, dtype=np.uint64)
+    return difference
+
+
+def reference_arrival(circuit: Circuit) -> Dict[str, float]:
+    model = DEFAULT_DELAY_MODEL
+    arrival = {net: 0.0 for net in circuit.inputs}
+    for gate in circuit.topological_order():
+        delay = model.gate_delay(circuit, gate)
+        if gate.inputs:
+            arrival[gate.name] = delay + max(arrival[n] for n in gate.inputs)
+        else:
+            arrival[gate.name] = delay
+    return arrival
+
+
+def reference_gate_probability(kind: str, p: List[float]) -> float:
+    if kind == "CONST0":
+        return 0.0
+    if kind == "CONST1":
+        return 1.0
+    if kind == "BUF":
+        return p[0]
+    if kind == "INV":
+        return 1.0 - p[0]
+    base = functions.base_operator(kind)
+    if base == "AND":
+        value = 1.0
+        for pi in p:
+            value *= pi
+    elif base == "OR":
+        value = 1.0
+        for pi in p:
+            value *= 1.0 - pi
+        value = 1.0 - value
+    else:  # XOR: probability the parity is odd
+        odd = 0.0
+        for pi in p:
+            odd = odd * (1.0 - pi) + (1.0 - odd) * pi
+        value = odd
+    if functions.is_inverting(kind):
+        value = 1.0 - value
+    return value
+
+
+def reference_probabilities(circuit: Circuit, input_probabilities=None):
+    probs: Dict[str, float] = {}
+    for net in circuit.inputs:
+        probs[net] = (
+            0.5 if input_probabilities is None
+            else input_probabilities.get(net, 0.5)
+        )
+    for gate in circuit.topological_order():
+        probs[gate.name] = reference_gate_probability(
+            gate.kind, [probs[n] for n in gate.inputs]
+        )
+    return probs
+
+
+# --------------------------------------------------------------------- #
+# Properties
+# --------------------------------------------------------------------- #
+
+
+def assert_simulation_matches(circuit: Circuit, seed: int) -> None:
+    stimulus = random_stimulus(circuit.inputs, N_VECTORS, seed=seed + 100)
+    ir_values = Simulator(circuit).run(stimulus)
+    reference = reference_run(circuit, stimulus)
+    assert set(ir_values) == set(reference)
+    for net, words in reference.items():
+        assert np.array_equal(ir_values[net], words), net
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_simulation_bit_for_bit(seed):
+    assert_simulation_matches(random_circuit(seed), seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_simulation_after_structural_edit(seed):
+    circuit = random_circuit(seed)
+    assert_simulation_matches(circuit, seed)  # compiles + caches
+    mutate(circuit)  # must invalidate the cached compilation
+    assert_simulation_matches(circuit, seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_observability_words_bit_for_bit(seed):
+    circuit = random_circuit(seed, n_gates=120)
+    stimulus = random_stimulus(circuit.inputs, N_VECTORS, seed=seed)
+    values = Simulator(circuit).run(stimulus)
+    nets = (list(circuit.inputs) + circuit.gate_names())[::5]
+    for net in nets:
+        ir_words = observability_words(circuit, net, values)
+        ref_words = reference_observability(circuit, values, net)
+        assert np.array_equal(ir_words, ref_words), net
+
+
+def test_observability_after_structural_edit():
+    circuit = random_circuit(5, n_gates=100)
+    stimulus = random_stimulus(circuit.inputs, N_VECTORS, seed=5)
+    values = Simulator(circuit).run(stimulus)
+    net = circuit.gate_names()[0]
+    observability_words(circuit, net, values)  # warm the cone cache
+    mutate(circuit)
+    stimulus = random_stimulus(circuit.inputs, N_VECTORS, seed=5)
+    values = Simulator(circuit).run(stimulus)
+    ir_words = observability_words(circuit, net, values)
+    ref_words = reference_observability(circuit, values, net)
+    assert np.array_equal(ir_words, ref_words)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sta_arrival_bit_for_bit(seed):
+    circuit = random_circuit(seed)
+    report = analyze(circuit)
+    reference = reference_arrival(circuit)
+    assert set(report.arrival) == set(reference)
+    for net, t in reference.items():
+        assert report.arrival[net] == t, net  # exact, not approx
+    mutate(circuit)
+    report = analyze(circuit)
+    reference = reference_arrival(circuit)
+    for net, t in reference.items():
+        assert report.arrival[net] == t, net
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_probabilities_bit_for_bit(seed):
+    circuit = random_circuit(seed)
+    rng = np.random.default_rng(seed)
+    biased = {net: float(rng.uniform(0.05, 0.95)) for net in circuit.inputs}
+    for input_probs in (None, biased):
+        got = propagate_probabilities(circuit, input_probs)
+        want = reference_probabilities(circuit, input_probs)
+        assert set(got) == set(want)
+        for net, p in want.items():
+            assert got[net] == p, net  # exact float equality
+    mutate(circuit)
+    got = propagate_probabilities(circuit)
+    want = reference_probabilities(circuit)
+    for net, p in want.items():
+        assert got[net] == p, net
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_simulated_activity_matches_reference_counts(seed):
+    circuit = random_circuit(seed)
+    activity = simulate_activity(circuit, n_vectors=N_VECTORS, seed=seed)
+    stimulus = random_stimulus(circuit.inputs, N_VECTORS, seed=seed)
+    values = reference_run(circuit, stimulus)
+    transitions = N_VECTORS - 1
+    for net, words in values.items():
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")[:N_VECTORS]
+        toggles = int(np.count_nonzero(bits[1:] != bits[:-1]))
+        assert activity[net] == toggles / transitions, net

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.logic import Bdd, BddError, TruthTable, bdd_equivalent, build_output_bdds
-from repro.netlist import CircuitBuilder
 
 VARS = ("a", "b", "c")
 

@@ -6,7 +6,6 @@ change, the Fig. 5 reroute and the one-bit fingerprint of the motivating
 example.
 """
 
-import pytest
 
 from repro.fingerprint import (
     FingerprintCodec,

@@ -12,15 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.netlist import (
-    BlifError,
-    Circuit,
-    NetlistError,
-    SopError,
-    VerilogError,
-    parse_blif,
-    parse_verilog,
-)
+from repro.netlist import BlifError, Circuit, NetlistError, VerilogError, parse_blif, parse_verilog
 from repro.sat import Cnf, CnfError
 
 _TEXT_ALPHABET = string.ascii_letters + string.digits + " .\n_-10#\\"

@@ -1,10 +1,9 @@
 """Unit + property tests for the SOP minimizer."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.netlist import Cube, SopNetwork, SopNode, parse_blif
+from repro.netlist import Cube, SopNode, parse_blif
 from repro.techmap import (
     literal_count,
     merge_distance1,

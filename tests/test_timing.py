@@ -3,17 +3,7 @@
 import pytest
 
 from repro.netlist import Circuit
-from repro.timing import (
-    LIBRARY_DELAY,
-    UNIT_DELAY,
-    LibraryDelay,
-    TimingReport,
-    UnitDelay,
-    WireDelay,
-    analyze,
-    critical_delay,
-    critical_path_nets,
-)
+from repro.timing import LIBRARY_DELAY, UNIT_DELAY, LibraryDelay, WireDelay, analyze, critical_delay, critical_path_nets
 
 
 class TestUnitDelay:
