@@ -7,6 +7,7 @@ Subcommands::
     repro-fp embed <design> --buyer NAME ...    buyer-keyed copy
     repro-fp extract <suspect> --golden <design>  read a fingerprint back
     repro-fp verify <left> <right>              verification ladder (budgeted)
+    repro-fp batch <design> --copies N --jobs J generate+verify N copies
     repro-fp measure <design>                   area / delay / power
     repro-fp audit <design>                     verify every variant (CEC)
     repro-fp inject <design>                    fault-injection campaign
@@ -207,6 +208,43 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .flows import run_batch
+
+    design = load_design(args.design)
+    result = run_batch(
+        design,
+        n_copies=args.copies,
+        jobs=args.jobs,
+        seed=args.seed,
+        ladder=_ladder_config(args),
+        measure_overheads=args.measure,
+    )
+    print(result.summary())
+    if args.verbose:
+        for record in result.records:
+            line = (
+                f"  value {record.value}: "
+                f"{'equivalent' if record.equivalent else 'MISMATCH'} "
+                f"[{record.tier}{', proven' if record.proven else ''}] "
+                f"{record.n_modifications} mods, {record.seconds:.2f}s"
+            )
+            if record.area_overhead is not None:
+                line += (
+                    f", overhead area {record.area_overhead:+.1%} "
+                    f"delay {record.delay_overhead:+.1%} "
+                    f"power {record.power_overhead:+.1%}"
+                )
+            print(line)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if result.n_mismatch == 0 else 1
+
+
 def _cmd_measure(args: argparse.Namespace) -> int:
     design = load_design(args.design)
     if args.full:
@@ -327,6 +365,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("right")
     _add_ladder_options(p)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "batch",
+        help="generate and verify many fingerprinted copies",
+        description="Issue N distinct fingerprint values, embed each one, "
+        "and verify every copy against the base through the budgeted ladder "
+        "backed by one incremental CEC session per worker process.  "
+        "--jobs parallelizes across processes; verdicts are identical to a "
+        "serial run.  Exit status 1 if any copy fails verification.",
+    )
+    p.add_argument("design")
+    p.add_argument("--copies", type=int, default=8, metavar="N",
+                   help="distinct copies to issue (default: 8)")
+    p.add_argument("--jobs", type=int, default=1, metavar="J",
+                   help="worker processes (default: 1)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fingerprint-value selection seed (default: 0)")
+    p.add_argument("--measure", action="store_true",
+                   help="record per-copy area/delay/power overheads")
+    p.add_argument("--json", metavar="PATH",
+                   help="write per-copy records as JSON")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print one line per copy")
+    _add_ladder_options(p)
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("measure", help="area / delay / power of a design")
     p.add_argument("design")

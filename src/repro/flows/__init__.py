@@ -7,6 +7,7 @@ from .ladder import (
     VerificationTier,
     verify_equivalence,
 )
+from .batch import BatchError, BatchResult, CopyRecord, run_batch, select_values
 from .pipeline import FlowResult, fingerprint_flow
 
 __all__ = [
@@ -17,4 +18,9 @@ __all__ = [
     "verify_equivalence",
     "FlowResult",
     "fingerprint_flow",
+    "BatchError",
+    "BatchResult",
+    "CopyRecord",
+    "run_batch",
+    "select_values",
 ]

@@ -26,11 +26,16 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from ..budget import Budget
 from ..errors import ReproError, annotate
 from ..netlist.circuit import Circuit
-from ..sat.cec import CecVerdict, check as sat_check
+from ..sat.cec import CecVerdict, check as sat_check, structurally_identical
 from ..sat.solver import SolverStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..sat.incremental import IncrementalCecSession
 from ..sim.equivalence import (
     EquivalenceResult,
     exhaustive_equivalent,
@@ -42,6 +47,7 @@ from ..sim.vectors import MAX_EXHAUSTIVE_INPUTS
 class VerificationTier(enum.Enum):
     """Which rung of the ladder produced the verdict."""
 
+    STRUCTURAL = "structural"
     EXHAUSTIVE_SIM = "exhaustive-sim"
     SAT_CEC = "sat-cec"
     RANDOM_SIM = "random-sim"
@@ -134,6 +140,7 @@ def verify_equivalence(
     left: Circuit,
     right: Circuit,
     config: Optional[LadderConfig] = None,
+    session: Optional["IncrementalCecSession"] = None,
 ) -> VerificationReport:
     """Run the verification ladder on two port-compatible circuits.
 
@@ -141,9 +148,32 @@ def verify_equivalence(
     to the random tier.  Malformed inputs raise a typed
     :class:`~repro.errors.ReproError` (e.g. ``PortMismatchError``,
     ``NetlistError``) annotated with the ``verify`` stage.
+
+    When a ``session`` (an :class:`~repro.sat.incremental.IncrementalCecSession`
+    whose base is ``left``) is supplied, the SAT tier runs through it
+    instead of a scratch miter, so repeated calls against the same base
+    share one solver and its learned clauses.  Budgets and UNDECIDED
+    degradation behave identically either way.
     """
     config = config if config is not None else LadderConfig()
+    if session is not None and session.base is not left:
+        raise ValueError("session base does not match the left circuit")
     tried = []
+
+    # ---- tier 0: structural identity ---------------------------------- #
+    # A copy whose modifications were all pruned away is the common cheap
+    # case in multi-copy flows; canonical hashing proves it without
+    # simulating or building a miter.  Only a positive identity decides —
+    # a negative just drops to the normal ladder.
+    if structurally_identical(left, right):
+        return VerificationReport(
+            equivalent=True,
+            proven=True,
+            tier=VerificationTier.STRUCTURAL,
+            reason="structurally identical under canonical hashing",
+            confidence=1.0,
+            tiers_tried=(VerificationTier.STRUCTURAL.value,),
+        )
 
     # ---- tier 1: exhaustive simulation -------------------------------- #
     n_inputs = len(left.inputs)
@@ -173,7 +203,10 @@ def verify_equivalence(
     if config.use_sat:
         tried.append(VerificationTier.SAT_CEC.value)
         try:
-            cec = sat_check(left, right, budget=config.sat_budget)
+            if session is not None:
+                cec = session.verify(right, budget=config.sat_budget)
+            else:
+                cec = sat_check(left, right, budget=config.sat_budget)
         except ReproError as exc:
             raise annotate(exc, stage="verify", design=left.name)
         sat_stats = cec.stats

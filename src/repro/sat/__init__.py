@@ -3,7 +3,15 @@
 from .cnf import Cnf, CnfError
 from .solver import CdclSolver, SatResult, SatStatus, SolverStats, solve_cnf
 from .tseitin import CircuitEncoding, encode_circuit, encode_gate
-from .cec import CecResult, CecVerdict, build_miter, check, sat_equivalent
+from .cec import (
+    CecResult,
+    CecVerdict,
+    build_miter,
+    check,
+    sat_equivalent,
+    structurally_identical,
+)
+from .incremental import IncrementalCecSession, SessionStats
 
 __all__ = [
     "Cnf",
@@ -21,4 +29,7 @@ __all__ = [
     "build_miter",
     "check",
     "sat_equivalent",
+    "structurally_identical",
+    "IncrementalCecSession",
+    "SessionStats",
 ]

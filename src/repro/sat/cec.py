@@ -15,10 +15,16 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..budget import Budget
+from ..ir import compile_circuit
 from ..netlist.circuit import Circuit
 from ..sim.equivalence import PortMismatchError
 from .solver import CdclSolver, SolverStats
 from .tseitin import CircuitEncoding, _encode_xor2, encode_circuit
+
+#: Gate kinds whose function is invariant under fanin permutation; their
+#: structural-hash keys sort the fanin classes so e.g. AND(a, b) and
+#: AND(b, a) hash identically.
+COMMUTATIVE_KINDS = frozenset({"AND", "NAND", "OR", "NOR", "XOR", "XNOR"})
 
 
 class CecVerdict(enum.Enum):
@@ -42,6 +48,10 @@ class CecResult:
     counterexample: Optional[Dict[str, int]]
     stats: SolverStats
     reason: Optional[str] = None
+    #: Optional engine-specific breakdown (the incremental session reports
+    #: how many outputs were discharged structurally, by simulation, or by
+    #: SAT, and how much of the copy's encoding was shared with the base).
+    detail: Optional[Dict[str, object]] = None
 
     @property
     def equivalent(self) -> bool:
@@ -52,6 +62,39 @@ class CecResult:
     def decided(self) -> bool:
         """True when the check reached a definitive verdict."""
         return self.verdict is not CecVerdict.UNDECIDED
+
+
+def structurally_identical(left: Circuit, right: Circuit) -> bool:
+    """Canonical structural hashing over both circuits at once.
+
+    Interns every net of both circuits into one congruence table keyed by
+    ``(kind, fanin classes)`` — fanins sorted for commutative kinds, primary
+    inputs keyed by name — and compares the output classes.  A ``True``
+    verdict is a *proof* of equivalence (same outputs computed by literally
+    the same gate structure); ``False`` just means a miter is needed.  Used
+    as the no-SAT fast path for copies with zero surviving modifications.
+    """
+    if set(left.inputs) != set(right.inputs):
+        return False
+    if set(left.outputs) != set(right.outputs):
+        return False
+    table: Dict[tuple, int] = {}
+
+    def output_classes(circuit: Circuit) -> Dict[str, int]:
+        compiled = compile_circuit(circuit)
+        cls: Dict[str, int] = {}
+        for name in circuit.inputs:
+            key = ("pi", name)
+            cls[name] = table.setdefault(key, len(table))
+        for gate in compiled.gates_in_order():
+            ins = tuple(cls[n] for n in gate.inputs)
+            if gate.kind in COMMUTATIVE_KINDS:
+                ins = tuple(sorted(ins))
+            key = (gate.kind, ins)
+            cls[gate.name] = table.setdefault(key, len(table))
+        return {net: cls[net] for net in circuit.outputs}
+
+    return output_classes(left) == output_classes(right)
 
 
 def build_miter(left: Circuit, right: Circuit) -> CircuitEncoding:
@@ -99,7 +142,19 @@ def check(
     With a ``budget``, a hard miter yields :data:`CecVerdict.UNDECIDED`
     instead of running unbounded — the caller decides what that means
     (the verification ladder falls back to random simulation).
+
+    Structurally identical pairs (see :func:`structurally_identical`) are
+    discharged without building a miter or touching the solver at all —
+    the common case for fingerprint requests whose modifications were all
+    pruned away.
     """
+    if structurally_identical(left, right):
+        return CecResult(
+            CecVerdict.EQUIVALENT,
+            None,
+            SolverStats(),
+            reason="structurally identical under canonical hashing",
+        )
     encoding = build_miter(left, right)
     solver = CdclSolver(encoding.cnf)
     result = solver.solve(budget=budget)

@@ -2,10 +2,19 @@
 
 Implements the standard modern architecture: two-watched-literal unit
 propagation, first-UIP conflict analysis with clause learning, VSIDS-style
-activity-based branching with decay, phase saving, non-chronological
-backjumping and Luby-sequence restarts.  It is a real solver — complete and
-sound — sized for the miter instances produced by the combinational
-equivalence checker on circuits of a few thousand gates.
+activity-based branching with decay (served from a lazy max-heap), phase
+saving, non-chronological backjumping, Luby-sequence restarts and
+activity-based learned-clause database reduction.  It is a real solver —
+complete and sound — sized for the miter instances produced by the
+combinational equivalence checker on circuits of a few thousand gates.
+
+The solver is *incremental*: after construction it accepts new variables
+(:meth:`CdclSolver.new_var`) and clauses (:meth:`CdclSolver.add_clause`)
+and can be re-solved any number of times under different assumptions
+without re-reading the CNF.  Learned clauses and variable activities
+persist across :meth:`CdclSolver.solve` calls, which is what makes the
+incremental equivalence session (:mod:`repro.sat.incremental`) pay off —
+lemmas proved for one fingerprint copy transfer to the next.
 
 Internal literal encoding: variable ``v`` (1-based) maps to literals
 ``2*v`` (positive) and ``2*v + 1`` (negative); ``lit ^ 1`` negates.
@@ -14,6 +23,8 @@ Internal literal encoding: variable ``v`` (1-based) maps to literals
 from __future__ import annotations
 
 import enum
+import heapq
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -35,7 +46,15 @@ def _to_external(lit: int) -> int:
 
 @dataclass
 class SolverStats:
-    """Counters exposed for benchmarks and tests."""
+    """Counters exposed for benchmarks and tests.
+
+    All counters accumulate over the solver's lifetime (across repeated
+    :meth:`CdclSolver.solve` calls on a persistent solver), so incremental
+    sessions report total work.  ``watch_visits`` counts watch-list clause
+    visits during propagation (the solver's true inner loop);
+    ``learned_deleted`` counts clauses discarded by database reduction;
+    ``solve_seconds`` is total wall-clock time spent inside ``solve``.
+    """
 
     decisions: int = 0
     propagations: int = 0
@@ -43,6 +62,16 @@ class SolverStats:
     learned: int = 0
     restarts: int = 0
     max_decision_level: int = 0
+    watch_visits: int = 0
+    learned_deleted: int = 0
+    solve_seconds: float = 0.0
+
+    @property
+    def propagations_per_sec(self) -> float:
+        """Propagation throughput over the accumulated solve time."""
+        if self.solve_seconds <= 0.0:
+            return 0.0
+        return self.propagations / self.solve_seconds
 
 
 class SatStatus(enum.Enum):
@@ -116,15 +145,26 @@ def _luby(x: int) -> int:
 
 
 class CdclSolver:
-    """Solve one CNF instance; construct fresh per formula."""
+    """An incremental CDCL solver over one growing clause database.
 
-    def __init__(self, cnf: Cnf, restart_base: int = 100) -> None:
-        self.n_vars = cnf.n_vars
+    Construct from a :class:`~repro.sat.cnf.Cnf` (or empty), then freely
+    interleave :meth:`new_var` / :meth:`add_clause` with :meth:`solve`
+    calls under assumptions.  State that persists between solves: the
+    clause database (original + learned), variable activities and saved
+    phases, and all root-level (decision level 0) implied assignments.
+    """
+
+    def __init__(self, cnf: Optional[Cnf] = None, restart_base: int = 100) -> None:
+        self.n_vars = cnf.n_vars if cnf is not None else 0
         self.restart_base = restart_base
         self.stats = SolverStats()
 
         size = 2 * (self.n_vars + 1)
         self._clauses: List[List[int]] = []
+        #: Parallel to ``_clauses``: True for learned (redundant) clauses.
+        self._learned_mask: List[bool] = []
+        #: Parallel to ``_clauses``: activity for DB-reduction ranking.
+        self._clause_act: List[float] = []
         self._watches: List[List[int]] = [[] for _ in range(size)]
         self._assign: List[int] = [_UNASSIGNED] * (self.n_vars + 1)
         self._level: List[int] = [0] * (self.n_vars + 1)
@@ -135,21 +175,35 @@ class CdclSolver:
         self._phase: List[bool] = [False] * (self.n_vars + 1)
         self._var_inc = 1.0
         self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
         self._trivially_unsat = False
+        #: Lazy VSIDS max-heap of ``(-activity_at_push, var)`` entries;
+        #: stale entries (activity changed or var assigned) are skipped at
+        #: pop time.
+        self._heap: List[Tuple[float, int]] = [
+            (0.0, var) for var in range(1, self.n_vars + 1)
+        ]
+        #: Learned clauses currently in the database (not yet deleted).
+        self._n_learned_live = 0
+        #: DB reduction fires when live learned clauses exceed this.
+        self._reduce_limit = 2000
 
-        seen_units: List[int] = []
-        for clause in cnf.clauses:
-            internal = [_to_internal(l) for l in dict.fromkeys(clause)]
-            if self._tautological(internal):
-                continue
-            if len(internal) == 1:
-                seen_units.append(internal[0])
-            else:
-                self._add_clause(internal)
-        for lit in seen_units:
-            if not self._enqueue(lit, None):
-                self._trivially_unsat = True
-                return
+        if cnf is not None:
+            seen_units: List[int] = []
+            for clause in cnf.clauses:
+                internal = [_to_internal(l) for l in dict.fromkeys(clause)]
+                if self._tautological(internal):
+                    continue
+                if len(internal) == 1:
+                    seen_units.append(internal[0])
+                else:
+                    self._add_clause(internal)
+            self._reduce_limit = max(2000, len(self._clauses) // 3)
+            for lit in seen_units:
+                if not self._enqueue(lit, None):
+                    self._trivially_unsat = True
+                    return
 
     @staticmethod
     def _tautological(clause: Sequence[int]) -> bool:
@@ -157,14 +211,77 @@ class CdclSolver:
         return any((lit ^ 1) in literals for lit in literals)
 
     # ------------------------------------------------------------------ #
+    # incremental interface
+    # ------------------------------------------------------------------ #
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) DIMACS index."""
+        self.n_vars += 1
+        var = self.n_vars
+        self._watches.append([])
+        self._watches.append([])
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        heapq.heappush(self._heap, (-0.0, var))
+        return var
+
+    def add_clause(self, literals: Sequence[int]) -> bool:
+        """Add one clause (DIMACS literals) to the live database.
+
+        Must be called between solves (the solver is at decision level 0
+        then; :meth:`solve` always returns there).  The clause is
+        simplified against root-level assignments: root-satisfied clauses
+        are dropped, root-falsified literals removed.  Returns ``False``
+        when the addition makes the formula trivially UNSAT (the solver
+        stays usable and will answer UNSAT), ``True`` otherwise.
+        """
+        if self._trail_lim:
+            raise ValueError("add_clause requires decision level 0")
+        internal = []
+        for lit in dict.fromkeys(literals):
+            var = abs(lit)
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            if var > self.n_vars:
+                raise ValueError(f"literal {lit} references unallocated variable")
+            internal.append(_to_internal(lit))
+        if self._tautological(internal):
+            return True
+        simplified: List[int] = []
+        for lit in internal:
+            value = self._lit_value(lit)
+            if value == 1:
+                return True  # satisfied at the root level forever
+            if value == 0:
+                continue  # falsified at the root level forever
+            simplified.append(lit)
+        if not simplified:
+            self._trivially_unsat = True
+            return False
+        if len(simplified) == 1:
+            if not self._enqueue(simplified[0], None):
+                self._trivially_unsat = True
+                return False
+            return True
+        self._add_clause(simplified)
+        return True
+
+    # ------------------------------------------------------------------ #
     # clause / assignment plumbing
     # ------------------------------------------------------------------ #
 
-    def _add_clause(self, literals: List[int]) -> int:
+    def _add_clause(self, literals: List[int], learned: bool = False) -> int:
         index = len(self._clauses)
         self._clauses.append(literals)
+        self._learned_mask.append(learned)
+        self._clause_act.append(self._cla_inc if learned else 0.0)
         self._watches[literals[0]].append(index)
         self._watches[literals[1]].append(index)
+        if learned:
+            self._n_learned_live += 1
         return index
 
     def _lit_value(self, lit: int) -> int:
@@ -200,6 +317,7 @@ class CdclSolver:
             self.stats.propagations += 1
             false_lit = lit ^ 1
             watch_list = self._watches[false_lit]
+            self.stats.watch_visits += len(watch_list)
             i = 0
             while i < len(watch_list):
                 clause_index = watch_list[i]
@@ -240,6 +358,26 @@ class CdclSolver:
             for v in range(1, self.n_vars + 1):
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
+            # Every heap entry is stale after a rescale; rebuild in bulk.
+            self._heap = [
+                (-self._activity[v], v)
+                for v in range(1, self.n_vars + 1)
+                if self._assign[v] == _UNASSIGNED
+            ]
+            heapq.heapify(self._heap)
+            return
+        if self._assign[var] == _UNASSIGNED:
+            heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _cla_bump(self, index: int) -> None:
+        if not self._learned_mask[index]:
+            return
+        self._clause_act[index] += self._cla_inc
+        if self._clause_act[index] > 1e20:
+            for i in range(len(self._clause_act)):
+                if self._learned_mask[i]:
+                    self._clause_act[i] *= 1e-20
+            self._cla_inc *= 1e-20
 
     def _analyze(self, conflict: int) -> Tuple[List[int], int]:
         """First-UIP learning; returns (learned clause, backjump level)."""
@@ -247,6 +385,7 @@ class CdclSolver:
         seen = [False] * (self.n_vars + 1)
         counter = 0
         pivot = -1  # the literal asserted by the current reason clause
+        self._cla_bump(conflict)
         clause = self._clauses[conflict]
         index = len(self._trail)
         current_level = self._decision_level()
@@ -276,6 +415,7 @@ class CdclSolver:
             if counter == 0:
                 break
             reason = self._reason[trail_lit >> 1]
+            self._cla_bump(reason)
             clause = self._clauses[reason]
         learned[0] = pivot ^ 1
         if len(learned) == 1:
@@ -291,6 +431,8 @@ class CdclSolver:
         return learned, back_level
 
     def _backjump(self, level: int) -> None:
+        heap = self._heap
+        activity = self._activity
         while self._trail_lim and self._decision_level() > level:
             limit = self._trail_lim.pop()
             while len(self._trail) > limit:
@@ -299,15 +441,87 @@ class CdclSolver:
                 self._phase[var] = bool(1 - (lit & 1))
                 self._assign[var] = _UNASSIGNED
                 self._reason[var] = None
+                heapq.heappush(heap, (-activity[var], var))
 
     def _pick_branch(self) -> Optional[int]:
+        heap = self._heap
+        assign = self._assign
+        activity = self._activity
+        while heap:
+            neg_act, var = heap[0]
+            if assign[var] != _UNASSIGNED or -neg_act != activity[var]:
+                heapq.heappop(heap)  # stale entry
+                continue
+            return 2 * var + (0 if self._phase[var] else 1)
+        # Heap exhausted: either everything is assigned, or fresh entries
+        # were lost (possible only transiently); fall back to a scan and
+        # repopulate so subsequent picks are heap-served again.
         best_var, best_act = 0, -1.0
+        rebuilt: List[Tuple[float, int]] = []
         for var in range(1, self.n_vars + 1):
-            if self._assign[var] == _UNASSIGNED and self._activity[var] > best_act:
-                best_var, best_act = var, self._activity[var]
+            if assign[var] != _UNASSIGNED:
+                continue
+            rebuilt.append((-activity[var], var))
+            if activity[var] > best_act:
+                best_var, best_act = var, activity[var]
         if best_var == 0:
             return None
+        heapq.heapify(rebuilt)
+        self._heap = rebuilt
         return 2 * best_var + (0 if self._phase[best_var] else 1)
+
+    # ------------------------------------------------------------------ #
+    # learned-clause database reduction
+    # ------------------------------------------------------------------ #
+
+    def _maybe_reduce_db(self) -> None:
+        if self._n_learned_live > self._reduce_limit:
+            self._reduce_db()
+
+    def _reduce_db(self) -> None:
+        """Discard the low-activity half of the deletable learned clauses.
+
+        Locked clauses (reasons of current assignments) and binary learned
+        clauses are kept.  Clause indices are compacted and the watch lists
+        and reason pointers rebuilt — called only at restart points, with
+        no pending propagation.
+        """
+        locked = {r for r in self._reason if r is not None}
+        deletable = [
+            i
+            for i in range(len(self._clauses))
+            if self._learned_mask[i] and i not in locked and len(self._clauses[i]) > 2
+        ]
+        deletable.sort(key=lambda i: self._clause_act[i])
+        drop = set(deletable[: len(deletable) // 2])
+        if not drop:
+            self._reduce_limit = int(self._reduce_limit * 1.5)
+            return
+        remap: Dict[int, int] = {}
+        clauses: List[List[int]] = []
+        learned_mask: List[bool] = []
+        clause_act: List[float] = []
+        for i, clause in enumerate(self._clauses):
+            if i in drop:
+                continue
+            remap[i] = len(clauses)
+            clauses.append(clause)
+            learned_mask.append(self._learned_mask[i])
+            clause_act.append(self._clause_act[i])
+        self._clauses = clauses
+        self._learned_mask = learned_mask
+        self._clause_act = clause_act
+        watches: List[List[int]] = [[] for _ in range(2 * (self.n_vars + 1))]
+        for index, clause in enumerate(clauses):
+            watches[clause[0]].append(index)
+            watches[clause[1]].append(index)
+        self._watches = watches
+        self._reason = [
+            None if r is None else remap[r] for r in self._reason
+        ]
+        self.stats.learned_deleted += len(drop)
+        self._n_learned_live -= len(drop)
+        self._reduce_limit = int(self._reduce_limit * 1.2)
 
     # ------------------------------------------------------------------ #
     # main loop
@@ -320,26 +534,45 @@ class CdclSolver:
     ) -> SatResult:
         """Solve, optionally under external (DIMACS-signed) assumptions.
 
-        ``budget`` bounds the search: when any limit (wall clock, conflicts,
+        ``budget`` bounds *this call*: limits compare against the
+        conflicts/decisions spent since the call began (not lifetime
+        totals), so a persistent solver can be re-solved under the same
+        budget repeatedly.  When any limit (wall clock, conflicts,
         decisions) is hit, the solver stops and returns a
         :data:`SatStatus.UNKNOWN` result whose ``reason`` names the spent
-        limit — it never raises and never runs unbounded.
+        limit — it never raises and never runs unbounded.  The solver
+        always returns at decision level 0, ready for the next
+        :meth:`add_clause` / :meth:`solve`.
         """
+        start = time.perf_counter()
+        try:
+            return self._solve(assumptions, budget)
+        finally:
+            self.stats.solve_seconds += time.perf_counter() - start
+
+    def _solve(
+        self,
+        assumptions: Sequence[int],
+        budget: Optional[Budget],
+    ) -> SatResult:
         clock = (budget if budget is not None else UNLIMITED).start()
         limited = not clock.budget.unlimited
+        conflicts_base = self.stats.conflicts
+        decisions_base = self.stats.decisions
         if self._trivially_unsat:
             return SatResult(False, None, self.stats)
         head = 0
         conflict, head = self._propagate(head)
         if conflict is not None:
+            self._trivially_unsat = True  # root-level conflict is permanent
             return SatResult(False, None, self.stats)
-        root_trail = len(self._trail)
 
         for external in assumptions:
             lit = _to_internal(external)
             if self._lit_value(lit) == 1:
                 continue
             if self._lit_value(lit) == 0:
+                self._backjump(0)
                 return SatResult(False, None, self.stats)
             self._trail_lim.append(len(self._trail))
             self._enqueue(lit, None)
@@ -357,9 +590,11 @@ class CdclSolver:
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
+                self._cla_inc /= self._cla_decay
                 if limited:
                     reason = clock.exhausted_reason(
-                        self.stats.conflicts, self.stats.decisions
+                        self.stats.conflicts - conflicts_base,
+                        self.stats.decisions - decisions_base,
                     )
                     if reason is not None:
                         self._backjump(0)
@@ -367,6 +602,8 @@ class CdclSolver:
                             SatStatus.UNKNOWN, None, self.stats, reason
                         )
                 if self._decision_level() <= assumption_level:
+                    if self._decision_level() == 0:
+                        self._trivially_unsat = True
                     self._backjump(0)
                     return SatResult(False, None, self.stats)
                 learned, back_level = self._analyze(conflict)
@@ -375,9 +612,11 @@ class CdclSolver:
                 head = len(self._trail)
                 if len(learned) == 1:
                     if not self._enqueue(learned[0], None):
+                        self._trivially_unsat = True
+                        self._backjump(0)
                         return SatResult(False, None, self.stats)
                 else:
-                    index = self._add_clause(learned)
+                    index = self._add_clause(learned, learned=True)
                     self.stats.learned += 1
                     self._enqueue(learned[0], index)
                 self._var_inc /= self._var_decay
@@ -388,10 +627,12 @@ class CdclSolver:
                 restart_limit = self.restart_base * _luby(self.stats.restarts)
                 self._backjump(assumption_level)
                 head = len(self._trail)
+                self._maybe_reduce_db()
                 continue
             if limited:
                 reason = clock.exhausted_reason(
-                    self.stats.conflicts, self.stats.decisions
+                    self.stats.conflicts - conflicts_base,
+                    self.stats.decisions - decisions_base,
                 )
                 if reason is not None:
                     self._backjump(0)

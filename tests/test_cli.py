@@ -104,8 +104,14 @@ class TestCommands:
         assert "random-sim" in out
         assert "SAT budget spent" in out
 
-    def test_verify_no_sat(self, golden_v, capsys):
-        assert main(["verify", golden_v, golden_v, "--no-sat"]) == 0
+    def test_verify_identical_is_structural(self, golden_v, capsys):
+        assert main(["verify", golden_v, golden_v]) == 0
+        assert "structural" in capsys.readouterr().out
+
+    def test_verify_no_sat(self, golden_v, tmp_path, capsys):
+        out_v = str(tmp_path / "copy.v")
+        main(["embed", golden_v, "--value", "1", "-o", out_v])
+        assert main(["verify", golden_v, out_v, "--no-sat"]) == 0
         assert "exhaustive-sim" in capsys.readouterr().out
 
     def test_inject_clean(self, golden_v, capsys):
@@ -140,6 +146,31 @@ class TestCommands:
         save_verilog(design, tampered_v)
         assert main(["extract", tampered_v, "--golden", golden_v]) == 2
         assert "tampered" in capsys.readouterr().out.lower()
+
+
+class TestBatch:
+    def test_batch_summary_and_json(self, tmp_path, capsys):
+        from repro.bench import RandomLogicSpec, generate
+
+        design = generate(
+            RandomLogicSpec(name="clibatch", n_inputs=10, n_outputs=6,
+                            n_gates=90, seed=4)
+        )
+        design_v = str(tmp_path / "clibatch.v")
+        save_verilog(design, design_v)
+        json_path = str(tmp_path / "batch.json")
+        assert main([
+            "batch", design_v, "--copies", "3", "--jobs", "1",
+            "--json", json_path, "-v",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 copies" in out and "copies/s" in out
+        assert "value" in out  # verbose per-copy lines
+        import json
+
+        payload = json.loads(open(json_path).read())
+        assert payload["n_copies"] == 3
+        assert payload["n_mismatch"] == 0
 
 
 class TestMeasureFull:

@@ -1,0 +1,130 @@
+"""Tests for the parallel multi-copy batch flow (``repro.flows.batch``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import RandomLogicSpec, generate
+from repro.budget import Budget
+from repro.flows import BatchError, LadderConfig, run_batch, select_values
+from repro.netlist import Circuit
+
+
+@pytest.fixture(scope="module")
+def wide_base() -> Circuit:
+    """18 inputs: too wide for the exhaustive tier, so the batch exercises
+    the incremental SAT path."""
+    return generate(
+        RandomLogicSpec(name="batchbase", n_inputs=18, n_outputs=10, n_gates=200, seed=5)
+    )
+
+
+class TestSelectValues:
+    def test_distinct_and_deterministic(self):
+        values = select_values(10_000, 16, seed=3)
+        assert len(values) == len(set(values)) == 16
+        assert values == select_values(10_000, 16, seed=3)
+        assert values == sorted(values)
+
+    def test_huge_space(self):
+        """Fingerprint spaces beyond ssize_t must still sample."""
+        values = select_values(1 << 200, 8, seed=0)
+        assert len(set(values)) == 8
+        assert all(0 <= v < (1 << 200) for v in values)
+
+    def test_capacity_too_small(self):
+        with pytest.raises(BatchError, match="capacity"):
+            select_values(3, 4)
+
+    def test_no_copies(self):
+        with pytest.raises(BatchError):
+            select_values(10, 0)
+
+
+class TestSerialBatch:
+    def test_all_copies_verified(self, wide_base):
+        result = run_batch(wide_base, n_copies=4, jobs=1, seed=1)
+        assert result.n_copies == 4
+        assert len(result.records) == 4
+        assert result.n_equivalent == 4
+        assert result.n_mismatch == 0
+        assert result.n_proven == 4
+        assert result.copies_per_sec > 0
+        values = [r.value for r in result.records]
+        assert values == sorted(values)
+        assert len(set(values)) == 4
+        assert all(r.tier == "sat-cec" for r in result.records)
+        assert all(r.n_modifications > 0 for r in result.records)
+
+    def test_overheads_recorded(self, wide_base):
+        result = run_batch(
+            wide_base, n_copies=2, jobs=1, seed=2, measure_overheads=True
+        )
+        for record in result.records:
+            assert record.area_overhead is not None
+            assert record.area_overhead >= 0.0
+            assert record.delay_overhead is not None
+            assert record.power_overhead is not None
+
+    def test_as_dict_roundtrips_json(self, wide_base):
+        import json
+
+        result = run_batch(wide_base, n_copies=2, jobs=1, seed=0)
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["n_copies"] == 2
+        assert len(payload["records"]) == 2
+        assert payload["n_equivalent"] == 2
+
+    def test_summary_mentions_throughput(self, wide_base):
+        result = run_batch(wide_base, n_copies=2, jobs=1, seed=0)
+        assert "copies/s" in result.summary()
+        assert "2 equivalent" in result.summary()
+
+
+class TestParallelBatch:
+    def test_jobs2_matches_serial(self, wide_base):
+        serial = run_batch(wide_base, n_copies=4, jobs=1, seed=7)
+        parallel = run_batch(wide_base, n_copies=4, jobs=2, seed=7)
+        assert [r.value for r in parallel.records] == [
+            r.value for r in serial.records
+        ]
+        assert [(r.equivalent, r.proven, r.tier) for r in parallel.records] == [
+            (r.equivalent, r.proven, r.tier) for r in serial.records
+        ]
+        assert parallel.jobs == 2
+
+    def test_chunking_covers_all_values(self, wide_base):
+        from repro.flows.batch import _chunked
+
+        values = list(range(23))
+        chunks = _chunked(values, jobs=3)
+        assert [v for chunk in chunks for v in chunk] == values
+        assert len(chunks) >= 3  # more chunks than workers -> stealing
+
+
+class TestBudgetDegradation:
+    def test_undecided_propagates_through_ladder(self, wide_base):
+        """A starved SAT budget degrades every copy's verdict to the
+        random tier — visible per record, never an exception."""
+        config = LadderConfig(
+            max_exhaustive_inputs=0,
+            sat_budget=Budget(max_decisions=0),
+            n_random_vectors=256,
+        )
+        result = run_batch(wide_base, n_copies=2, jobs=1, seed=1, ladder=config)
+        assert result.n_degraded == 2
+        for record in result.records:
+            assert record.budget_hit
+            assert not record.proven
+            assert record.tier == "random-sim"
+            assert record.equivalent  # probabilistic verdict, still positive
+
+    def test_exhaustive_tier_still_fires_for_narrow_designs(self):
+        narrow = generate(
+            RandomLogicSpec(
+                name="narrow", n_inputs=8, n_outputs=4, n_gates=60, seed=11
+            )
+        )
+        result = run_batch(narrow, n_copies=2, jobs=1, seed=0)
+        assert all(r.tier == "exhaustive-sim" for r in result.records)
+        assert all(r.proven for r in result.records)

@@ -135,3 +135,115 @@ class TestAgainstBruteForce:
         a = CdclSolver(cnf, restart_base=2).solve()
         b = CdclSolver(cnf, restart_base=1000).solve()
         assert a.satisfiable == b.satisfiable
+
+
+class TestIncrementalInterface:
+    """The solver survives add_clause/new_var/solve interleavings."""
+
+    def test_repeated_solves_under_different_assumptions(self):
+        cnf = Cnf(n_vars=3)
+        cnf.add_clauses([[1, 2], [-1, 3]])
+        solver = CdclSolver(cnf)
+        assert solver.solve(assumptions=[1]).satisfiable
+        assert solver.solve(assumptions=[-1]).satisfiable
+        assert solver.solve(assumptions=[1, -3]).status.value == "unsat"
+        # Earlier failing assumptions must not poison later solves.
+        assert solver.solve(assumptions=[1, 3]).satisfiable
+
+    def test_add_clause_between_solves(self):
+        solver = CdclSolver(Cnf(n_vars=2))
+        assert solver.solve().satisfiable
+        assert solver.add_clause([1, 2])
+        assert solver.add_clause([-1])
+        result = solver.solve()
+        assert result.satisfiable and result.value(2) is True
+        assert solver.add_clause([-2]) is False  # now trivially UNSAT
+        assert not solver.solve().satisfiable
+
+    def test_new_var_extends_the_instance(self):
+        solver = CdclSolver(Cnf(n_vars=1))
+        fresh = solver.new_var()
+        assert fresh == 2
+        solver.add_clause([1, fresh])
+        solver.add_clause([-1])
+        result = solver.solve()
+        assert result.satisfiable and result.value(fresh) is True
+
+    def test_activation_literal_pattern(self):
+        """Clauses gated behind an activation literal can be retired by
+        asserting its negation — the incremental-CEC retirement idiom."""
+        solver = CdclSolver(Cnf(n_vars=2))
+        act = solver.new_var()
+        solver.add_clause([1, -act])
+        solver.add_clause([-1, -act])  # contradictory *only* under act
+        assert not solver.solve(assumptions=[act]).satisfiable
+        assert solver.solve().satisfiable  # without the assumption: fine
+        assert solver.add_clause([-act])  # retire for good
+        assert solver.solve().satisfiable
+        assert solver.solve(assumptions=[1]).satisfiable
+
+    def test_add_clause_rejects_unallocated_variable(self):
+        solver = CdclSolver(Cnf(n_vars=1))
+        try:
+            solver.add_clause([5])
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError for unknown variable")
+
+    def test_budget_is_per_solve_not_cumulative(self):
+        """A persistent solver re-solved under the same conflict budget
+        must not inherit previous solves' conflict counts."""
+        from repro.budget import Budget
+
+        # A small pigeonhole-flavored instance that forces some conflicts.
+        cnf = Cnf(n_vars=6)
+        cnf.add_clauses(
+            [
+                [1, 2], [3, 4], [5, 6],
+                [-1, -3], [-1, -5], [-3, -5],
+                [-2, -4], [-2, -6], [-4, -6],
+            ]
+        )
+        solver = CdclSolver(cnf)
+        budget = Budget(max_conflicts=50)
+        first = solver.solve(budget=budget)
+        total_after_first = solver.stats.conflicts
+        second = solver.solve(budget=budget)
+        # Identical verdicts; the second call was not starved by the
+        # first call's accumulated counters.
+        assert first.status is second.status
+        assert not second.unknown or total_after_first < 50
+
+
+class TestSolverStatsExtensions:
+    def test_new_counters_populate(self):
+        cnf = Cnf(n_vars=4)
+        cnf.add_clauses([[1, 2], [-1, 3], [-2, -3], [3, 4], [-3, -4], [1, -4]])
+        solver = CdclSolver(cnf)
+        result = solver.solve()
+        stats = result.stats
+        assert stats.watch_visits > 0
+        assert stats.solve_seconds > 0.0
+        assert stats.propagations_per_sec > 0.0
+        assert stats.learned_deleted == 0  # tiny instance: nothing reduced
+
+    def test_db_reduction_deletes_learned_clauses(self):
+        """Force database reduction with a tiny limit and frequent
+        restarts; verdicts stay correct and deletions are counted."""
+        import random
+
+        rng = random.Random(0)
+        n_vars = 40
+        cnf = Cnf(n_vars=n_vars)
+        for _ in range(180):
+            clause = rng.sample(range(1, n_vars + 1), 3)
+            cnf.add_clause([v if rng.random() < 0.5 else -v for v in clause])
+        solver = CdclSolver(cnf, restart_base=4)
+        solver._reduce_limit = 8
+        result = solver.solve()
+        assert not result.unknown
+        if solver.stats.learned > 40:
+            assert solver.stats.learned_deleted > 0
+        # Cross-check the verdict on a fresh solver without reduction.
+        assert result.satisfiable == CdclSolver(cnf).solve().satisfiable

@@ -133,3 +133,49 @@ def test_report_summary_mentions_tier(wide_pair):
     base, copy = wide_pair
     report = verify_equivalence(base, copy)
     assert "sat-cec" in report.summary()
+
+
+def test_identical_pair_decided_structurally(fig1_circuit):
+    """Tier 0: a copy with zero surviving modifications never simulates
+    or builds a miter."""
+    report = verify_equivalence(fig1_circuit, fig1_circuit.clone("twin"))
+    assert report.tier is VerificationTier.STRUCTURAL
+    assert report.equivalent and report.proven
+    assert report.tiers_tried == ("structural",)
+
+
+def test_session_backed_sat_tier(wide_pair):
+    """The SAT tier routed through an IncrementalCecSession: same verdict
+    and tier bookkeeping as the scratch path."""
+    from repro.sat import IncrementalCecSession
+
+    base, copy = wide_pair
+    session = IncrementalCecSession(base)
+    report = verify_equivalence(base, copy, session=session)
+    assert report.tier is VerificationTier.SAT_CEC
+    assert report.equivalent and report.proven
+    assert report.tiers_tried == ("sat-cec",)
+    assert session.stats.copies == 1
+
+
+def test_session_backed_budget_degradation(wide_pair):
+    from repro.sat import IncrementalCecSession
+
+    base, copy = wide_pair
+    session = IncrementalCecSession(base)
+    config = LadderConfig(
+        sat_budget=Budget(max_decisions=0), n_random_vectors=1024
+    )
+    report = verify_equivalence(base, copy, config=config, session=session)
+    assert report.tier is VerificationTier.RANDOM_SIM
+    assert report.budget_hit and not report.proven
+    assert report.tiers_tried == ("sat-cec", "random-sim")
+
+
+def test_session_base_mismatch_rejected(wide_pair, fig1_circuit):
+    from repro.sat import IncrementalCecSession
+
+    base, copy = wide_pair
+    session = IncrementalCecSession(base)
+    with pytest.raises(ValueError, match="session base"):
+        verify_equivalence(fig1_circuit, copy, session=session)
