@@ -14,7 +14,7 @@ import pytest
 
 from repro.budget import Budget
 from repro.fingerprint import embed, full_assignment
-from repro.flows import LadderConfig, VerificationTier, verify_equivalence
+from repro.flows import LadderConfig, VerificationTier, run_ladder
 
 
 @pytest.fixture(scope="module")
@@ -28,7 +28,7 @@ def pairs(circuits, catalogs):
 
 def _run_suite(pairs, config):
     reports = {
-        name: verify_equivalence(base, copy, config=config)
+        name: run_ladder(base, copy, config=config)
         for name, (base, copy) in pairs.items()
     }
     assert all(r.equivalent for r in reports.values())

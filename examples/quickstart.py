@@ -8,8 +8,9 @@ as structural Verilog.
 Run:  python examples/quickstart.py
 """
 
-from repro import Circuit, fingerprint_flow, write_verilog
+from repro import Circuit, fingerprint
 from repro.fingerprint import FingerprintCodec, embed, extract, find_locations
+from repro.netlist import write_verilog
 from repro.sim import exhaustive_equivalent
 
 
@@ -30,7 +31,7 @@ def main() -> None:
 
     # One call runs the whole pipeline: locations -> capacity -> embedding
     # -> verification -> measurement.
-    result = fingerprint_flow(base)
+    result = fingerprint(base)
     print(result.summary())
     print()
 

@@ -1,0 +1,160 @@
+"""The stable public surface of the fingerprinting system.
+
+Everything a client needs lives here, behind four verbs and one options
+object::
+
+    from repro.api import FlowOptions, batch, fingerprint, verify
+
+    design = load_circuit("design.blif")          # or .v
+    result = fingerprint(design, FlowOptions(delay_constraint=0.05))
+    issued = batch(design, 32, FlowOptions(jobs=4, trace=True))
+    report = verify(design, result.copy.circuit)
+
+Every entry point takes the same keyword-only :class:`FlowOptions`
+(individual fields can also be passed directly as keyword overrides,
+e.g. ``fingerprint(design, seed=3)``), replacing the divergent
+positional signatures that ``fingerprint_flow`` / ``run_batch`` /
+``verify_equivalence`` grew across earlier revisions — those remain as
+deprecated shims.  Setting ``FlowOptions(trace=True, metrics=True)``
+records telemetry for the duration of the call; read it back through
+:mod:`repro.telemetry` (``get_tracer().finished``,
+``telemetry_snapshot()``, ``write_chrome_trace(...)``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Optional, Union
+
+from . import telemetry
+from .errors import DesignLoadError, ReproError, annotate
+from .flows.batch import BatchResult, run_batch_flow
+from .flows.ladder import LadderConfig, LadderResult, run_ladder
+from .flows.options import FlowOptions
+from .flows.pipeline import FlowResult, run_flow
+from .netlist.blif import read_blif, save_blif
+from .netlist.circuit import Circuit
+from .netlist.sop import SopNetwork
+from .netlist.verilog import read_verilog, save_verilog
+from .techmap.mapper import map_network
+
+Design = Union[Circuit, SopNetwork, str]
+
+
+def _resolve(opts: Optional[FlowOptions], overrides: Dict[str, object]) -> FlowOptions:
+    if opts is None:
+        return FlowOptions(**overrides)
+    if overrides:
+        return opts.replace(**overrides)
+    return opts
+
+
+@contextmanager
+def _telemetry_scope(opts: FlowOptions):
+    """Enable telemetry for the call when the options ask for it."""
+    if opts.trace or opts.metrics:
+        with telemetry.enabled(trace=opts.trace, metrics=opts.metrics):
+            yield
+    else:
+        yield
+
+
+def fingerprint(
+    design: Design,
+    opts: Optional[FlowOptions] = None,
+    **overrides: object,
+) -> FlowResult:
+    """Run the full fingerprinting pipeline on one design.
+
+    ``design`` may be a gate-level :class:`Circuit`, a parsed
+    :class:`SopNetwork`, or BLIF text (mapped with ``opts.map_style``).
+    Returns a :class:`FlowResult` covering locations, capacity, the
+    embedded copy, verification and overhead measurements.
+    """
+    opts = _resolve(opts, overrides)
+    with _telemetry_scope(opts):
+        return run_flow(design, opts)
+
+
+def batch(
+    design: Circuit,
+    n_copies: int = 8,
+    opts: Optional[FlowOptions] = None,
+    **overrides: object,
+) -> BatchResult:
+    """Generate and verify ``n_copies`` distinct fingerprinted copies.
+
+    ``opts.jobs > 1`` fans the generate-and-verify loop across worker
+    processes (one incremental CEC session each); telemetry recorded in
+    the workers is folded back into the parent's tracer and registry.
+    """
+    opts = _resolve(opts, overrides)
+    with _telemetry_scope(opts):
+        return run_batch_flow(design, n_copies, opts)
+
+
+def verify(
+    left: Circuit,
+    right: Circuit,
+    opts: Optional[FlowOptions] = None,
+    **overrides: object,
+) -> LadderResult:
+    """Check two circuits for functional equivalence (budgeted ladder).
+
+    Runs structural identity → exhaustive simulation → budgeted SAT CEC
+    → random simulation; a spent budget degrades the verdict (visible in
+    ``LadderResult.budget_hit``) instead of hanging.  Tune via
+    ``opts.ladder`` (a :class:`LadderConfig`).
+    """
+    opts = _resolve(opts, overrides)
+    with _telemetry_scope(opts):
+        return run_ladder(left, right, config=opts.ladder)
+
+
+def load_circuit(path: str, map_style: str = "aoi") -> Circuit:
+    """Read a design file by extension.
+
+    ``.blif`` files are parsed and technology-mapped (the
+    ABC-replacement path of the paper's flow); ``.v`` files are read as
+    structural Verilog over the generic library.
+    """
+    try:
+        if path.endswith(".blif"):
+            return map_network(read_blif(path), style=map_style)
+        if path.endswith(".v"):
+            return read_verilog(path)
+    except OSError as exc:
+        raise DesignLoadError(f"cannot read {path!r}: {exc}", stage="load") from exc
+    except ReproError as exc:
+        raise annotate(exc, stage="load", design=path)
+    raise DesignLoadError(
+        f"unsupported design extension: {path!r} (.blif or .v)", stage="load"
+    )
+
+
+def save_circuit(circuit: Circuit, path: str) -> None:
+    """Write a circuit by extension (``.v`` structural Verilog, ``.blif``)."""
+    if path.endswith(".v"):
+        save_verilog(circuit, path)
+        return
+    if path.endswith(".blif"):
+        save_blif(circuit, path)
+        return
+    raise DesignLoadError(
+        f"unsupported design extension: {path!r} (.blif or .v)", stage="save"
+    )
+
+
+__all__ = [
+    "BatchResult",
+    "Circuit",
+    "FlowOptions",
+    "FlowResult",
+    "LadderConfig",
+    "LadderResult",
+    "batch",
+    "fingerprint",
+    "load_circuit",
+    "save_circuit",
+    "verify",
+]

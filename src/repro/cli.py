@@ -19,18 +19,30 @@ mapped (the ABC-replacement path of the paper's flow); ``.v`` files are
 read as structural Verilog over the generic library.  All commands are
 deterministic, so ``extract`` can rebuild the golden design's location
 catalog instead of needing a side-channel database.
+
+Every subcommand shares three output options.  ``--json [PATH]`` emits
+one envelope shape — ``{"tool", "version", "command", "telemetry",
+"result"}`` — to PATH, or to stdout (suppressing the human-readable
+text) when given without an argument.  ``--trace FILE`` records nested
+telemetry spans across the whole run and writes them as a Chrome
+trace-event file loadable in ``chrome://tracing`` / Perfetto.
+``--metrics`` records counters and histograms into the envelope's
+``telemetry`` section.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional
+from typing import Any, Dict, Optional, Tuple
 
+from . import telemetry
 from .analysis import measure
+from .api import load_circuit
 from .budget import Budget
-from .errors import DesignLoadError, ReproError, annotate
-from .flows import LadderConfig, verify_equivalence
+from .errors import ReproError
+from .flows import LadderConfig, run_batch_flow, run_ladder
 from .bench import (
     build_benchmark,
     render_figure7,
@@ -49,27 +61,23 @@ from .fingerprint import (
     extract,
     find_locations,
 )
-from .netlist import Circuit, read_blif, read_verilog, save_verilog
+from .netlist import Circuit, save_verilog
 from .sim import check_equivalence
-from .techmap import map_network
+
+CommandResult = Tuple[int, Dict[str, Any]]
 
 
 def load_design(path: str) -> Circuit:
     """Read a design file (.blif is parsed and mapped; .v is structural)."""
-    try:
-        if path.endswith(".blif"):
-            return map_network(read_blif(path))
-        if path.endswith(".v"):
-            return read_verilog(path)
-    except OSError as exc:
-        raise DesignLoadError(
-            f"cannot read {path!r}: {exc}", stage="load"
-        ) from exc
-    except ReproError as exc:
-        raise annotate(exc, stage="load", design=path)
-    raise DesignLoadError(
-        f"unsupported design extension: {path!r} (.blif or .v)", stage="load"
-    )
+    return load_circuit(path)
+
+
+def _say(args: argparse.Namespace, *lines: str) -> None:
+    """Print human-readable output — unless JSON owns stdout."""
+    if getattr(args, "json", None) == "-":
+        return
+    for line in lines:
+        print(line)
 
 
 def _ladder_config(args: argparse.Namespace) -> LadderConfig:
@@ -118,29 +126,69 @@ def _add_ladder_options(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _cmd_locations(args: argparse.Namespace) -> int:
+def _add_common_options(p: argparse.ArgumentParser) -> None:
+    group = p.add_argument_group("output & telemetry")
+    group.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the unified JSON envelope to PATH "
+        "(or stdout when no PATH is given)",
+    )
+    group.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record telemetry spans; write a Chrome trace-event file",
+    )
+    group.add_argument(
+        "--metrics", action="store_true",
+        help="record telemetry counters/histograms into the JSON envelope",
+    )
+
+
+def _cmd_locations(args: argparse.Namespace) -> CommandResult:
     design = load_design(args.design)
     catalog = find_locations(design)
     report = capacity(catalog)
-    print(f"design {design.name}: {design.n_gates} gates")
-    print(
+    _say(
+        args,
+        f"design {design.name}: {design.n_gates} gates",
         f"{report.n_locations} locations, {report.n_slots} slots, "
-        f"{report.n_variants} variants, {report.bits:.2f} bits"
+        f"{report.n_variants} variants, {report.bits:.2f} bits",
     )
+    result: Dict[str, Any] = {
+        "design": design.name,
+        "n_gates": design.n_gates,
+        "n_locations": report.n_locations,
+        "n_slots": report.n_slots,
+        "n_variants": report.n_variants,
+        "bits": report.bits,
+    }
     if args.verbose:
+        result["locations"] = []
         for location in catalog:
             slots = ", ".join(
                 f"{s.target}[{len(s.variants)}v]" for s in location.slots
             )
-            print(
+            _say(
+                args,
                 f"  loc {location.id}: primary={location.primary} "
                 f"root={location.ffc_root} trigger={location.trigger} "
-                f"slots: {slots}"
+                f"slots: {slots}",
             )
-    return 0
+            result["locations"].append(
+                {
+                    "id": location.id,
+                    "primary": location.primary,
+                    "root": location.ffc_root,
+                    "trigger": location.trigger,
+                    "slots": [
+                        {"target": s.target, "n_variants": len(s.variants)}
+                        for s in location.slots
+                    ],
+                }
+            )
+    return 0, result
 
 
-def _cmd_embed(args: argparse.Namespace) -> int:
+def _cmd_embed(args: argparse.Namespace) -> CommandResult:
     design = load_design(args.design)
     catalog = find_locations(design)
     codec = FingerprintCodec(catalog)
@@ -153,24 +201,35 @@ def _cmd_embed(args: argparse.Namespace) -> int:
     else:
         value = args.value % codec.combinations
     copy = embed(design, catalog, codec.encode(value))
+    verify_method = None
     if args.verify:
         verdict = check_equivalence(design, copy.circuit)
         if not verdict.equivalent:
             raise SystemExit("internal error: embedding broke functionality")
-        print(f"verified equivalent ({'exhaustive' if verdict.complete else 'random'})")
-    print(f"embedded fingerprint value {value} "
-          f"({copy.n_active} modifications)")
+        verify_method = "exhaustive" if verdict.complete else "random"
+        _say(args, f"verified equivalent ({verify_method})")
+    _say(args, f"embedded fingerprint value {value} "
+               f"({copy.n_active} modifications)")
     if args.output:
         save_verilog(copy.circuit, args.output)
-        print(f"wrote {args.output}")
-    else:
+        _say(args, f"wrote {args.output}")
+    elif args.json != "-":
         from .netlist import write_verilog
 
         sys.stdout.write(write_verilog(copy.circuit))
-    return 0
+    result = {
+        "design": design.name,
+        "value": value,
+        "buyer": args.buyer,
+        "n_modifications": copy.n_active,
+        "verified": bool(args.verify),
+        "verify_method": verify_method,
+        "output": args.output,
+    }
+    return 0, result
 
 
-def _cmd_extract(args: argparse.Namespace) -> int:
+def _cmd_extract(args: argparse.Namespace) -> CommandResult:
     golden = load_design(args.golden)
     suspect = load_design(args.suspect)
     catalog = find_locations(golden)
@@ -178,51 +237,58 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     if args.structural:
         from .fingerprint import extract_structural
 
-        result = extract_structural(suspect, golden, catalog)
+        extraction = extract_structural(suspect, golden, catalog)
     else:
-        result = extract(suspect, golden, catalog)
-    value = codec.decode(result.assignment)
-    print(f"fingerprint value: {value}")
-    if result.tampered:
-        print(f"WARNING: {len(result.tampered)} tampered slots: "
-              f"{', '.join(result.tampered[:8])}")
-        return 2
-    return 0
+        extraction = extract(suspect, golden, catalog)
+    value = codec.decode(extraction.assignment)
+    _say(args, f"fingerprint value: {value}")
+    result = {
+        "value": value,
+        "tampered": list(extraction.tampered),
+    }
+    if extraction.tampered:
+        _say(
+            args,
+            f"WARNING: {len(extraction.tampered)} tampered slots: "
+            f"{', '.join(extraction.tampered[:8])}",
+        )
+        return 2, result
+    return 0, result
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
+def _cmd_verify(args: argparse.Namespace) -> CommandResult:
     left = load_design(args.left)
     right = load_design(args.right)
-    report = verify_equivalence(left, right, config=_ladder_config(args))
-    print(f"tiers tried: {' -> '.join(report.tiers_tried)}")
+    report = run_ladder(left, right, config=_ladder_config(args))
+    _say(args, f"tiers tried: {' -> '.join(report.tiers_tried)}")
     if report.equivalent:
-        print(f"EQUIVALENT — {report.summary()}")
+        _say(args, f"EQUIVALENT — {report.summary()}")
         if report.budget_hit:
-            print("note: SAT budget spent; verdict is probabilistic "
-                  f"(confidence {report.confidence:.4f})")
-        return 0
-    print(f"NOT equivalent — {report.summary()}")
+            _say(args, "note: SAT budget spent; verdict is probabilistic "
+                       f"(confidence {report.confidence:.4f})")
+        return 0, report.as_dict()
+    _say(args, f"NOT equivalent — {report.summary()}")
     if report.counterexample is not None:
         where = f" on {report.output}" if report.output else ""
-        print(f"  counterexample{where}: {report.counterexample}")
-    return 1
+        _say(args, f"  counterexample{where}: {report.counterexample}")
+    return 1, report.as_dict()
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    import json
-
-    from .flows import run_batch
+def _cmd_batch(args: argparse.Namespace) -> CommandResult:
+    from .flows import FlowOptions
 
     design = load_design(args.design)
-    result = run_batch(
+    result = run_batch_flow(
         design,
         n_copies=args.copies,
-        jobs=args.jobs,
-        seed=args.seed,
-        ladder=_ladder_config(args),
-        measure_overheads=args.measure,
+        opts=FlowOptions(
+            jobs=args.jobs,
+            seed=args.seed,
+            ladder=_ladder_config(args),
+            measure_overheads=args.measure,
+        ),
     )
-    print(result.summary())
+    _say(args, result.summary())
     if args.verbose:
         for record in result.records:
             line = (
@@ -237,44 +303,57 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     f"delay {record.delay_overhead:+.1%} "
                     f"power {record.power_overhead:+.1%}"
                 )
-            print(line)
-    if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(result.as_dict(), handle, indent=2)
-        print(f"wrote {args.json}")
-    return 0 if result.n_mismatch == 0 else 1
+            _say(args, line)
+    return (0 if result.n_mismatch == 0 else 1), result.as_dict()
 
 
-def _cmd_measure(args: argparse.Namespace) -> int:
+def _cmd_measure(args: argparse.Namespace) -> CommandResult:
     design = load_design(args.design)
     if args.full:
         from .analysis import design_report
 
-        print(design_report(design))
-        return 0
+        report = design_report(design)
+        _say(args, report)
+        return 0, {"design": design.name, "report": report}
     metrics = measure(design)
-    print(f"design: {metrics.name}")
-    print(f"gates:  {metrics.gates}")
-    print(f"depth:  {metrics.depth}")
-    print(f"area:   {metrics.area:.0f}")
-    print(f"delay:  {metrics.delay:.3f}")
-    print(f"power:  {metrics.power:.1f}")
-    return 0
+    _say(
+        args,
+        f"design: {metrics.name}",
+        f"gates:  {metrics.gates}",
+        f"depth:  {metrics.depth}",
+        f"area:   {metrics.area:.0f}",
+        f"delay:  {metrics.delay:.3f}",
+        f"power:  {metrics.power:.1f}",
+    )
+    return 0, metrics.as_dict()
 
 
-def _cmd_audit(args: argparse.Namespace) -> int:
+def _cmd_audit(args: argparse.Namespace) -> CommandResult:
     from .fingerprint import audit_catalog
 
     design = load_design(args.design)
     catalog = find_locations(design)
     report = audit_catalog(design, catalog, max_variants=args.max_variants)
-    print(report.summary())
+    _say(args, report.summary())
     for failure in report.failures:
-        print(f"  FAILED: slot {failure.target} variant {failure.variant_index}")
-    return 0 if report.clean else 1
+        _say(args, f"  FAILED: slot {failure.target} variant {failure.variant_index}")
+    result = {
+        "design": design.name,
+        "n_checked": report.n_checked,
+        "clean": report.clean,
+        "failures": [
+            {
+                "target": failure.target,
+                "variant_index": failure.variant_index,
+                "method": failure.method,
+            }
+            for failure in report.failures
+        ],
+    }
+    return (0 if report.clean else 1), result
 
 
-def _cmd_inject(args: argparse.Namespace) -> int:
+def _cmd_inject(args: argparse.Namespace) -> CommandResult:
     from .faultinject import run_netlist_campaign, run_text_campaign
 
     design = load_design(args.design)
@@ -291,8 +370,15 @@ def _cmd_inject(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         report.records.extend(text_report.records)
-    print(report.summary())
-    return 0 if report.clean else 1
+    _say(args, report.summary())
+    result = {
+        "design": design.name,
+        "n_injections": len(report.records),
+        "clean": report.clean,
+        "counts": report.counts(),
+        "by_injector": report.by_injector(),
+    }
+    return (0 if report.clean else 1), result
 
 
 def read_verilog_text(text: str) -> Circuit:
@@ -302,25 +388,39 @@ def read_verilog_text(text: str) -> Circuit:
     return parse_verilog(text)
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
+def _cmd_bench(args: argparse.Namespace) -> CommandResult:
     circuit = build_benchmark(args.name)
-    print(f"{args.name}: {circuit.n_gates} gates, depth {circuit.depth()}")
+    depth = circuit.depth()
+    _say(args, f"{args.name}: {circuit.n_gates} gates, depth {depth}")
     if args.output:
         save_verilog(circuit, args.output)
-        print(f"wrote {args.output}")
-    return 0
+        _say(args, f"wrote {args.output}")
+    result = {
+        "name": args.name,
+        "gates": circuit.n_gates,
+        "depth": depth,
+        "output": args.output,
+    }
+    return 0, result
 
 
-def _cmd_tables(args: argparse.Namespace) -> int:
+def _cmd_tables(args: argparse.Namespace) -> CommandResult:
     names = suite_for_budget(args.budget)
-    print(f"suite: {', '.join(names)}\n")
-    print(render_table2(run_table2(names)))
-    print()
+    _say(args, f"suite: {', '.join(names)}\n")
+    table2 = render_table2(run_table2(names))
+    _say(args, table2, "")
     table3_rows = run_table3(names)
-    print(render_table3(table3_rows))
-    print()
-    print(render_figure7(run_figure7(names, table3_rows=table3_rows)))
-    return 0
+    table3 = render_table3(table3_rows)
+    _say(args, table3, "")
+    figure7 = render_figure7(run_figure7(names, table3_rows=table3_rows))
+    _say(args, figure7)
+    result = {
+        "suite": list(names),
+        "table2": table2,
+        "table3": table3,
+        "figure7": figure7,
+    }
+    return 0, result
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -384,8 +484,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fingerprint-value selection seed (default: 0)")
     p.add_argument("--measure", action="store_true",
                    help="record per-copy area/delay/power overheads")
-    p.add_argument("--json", metavar="PATH",
-                   help="write per-copy records as JSON")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print one line per copy")
     _add_ladder_options(p)
@@ -430,17 +528,66 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=[None, "quick", "medium", "full"])
     p.set_defaults(func=_cmd_tables)
 
+    for command in sub.choices.values():
+        _add_common_options(command)
+
     return parser
+
+
+def _envelope(command: str, result: Dict[str, Any], snapshot: Dict[str, Any]) -> str:
+    """Serialize the one JSON shape every subcommand emits."""
+    from . import __version__
+
+    payload = {
+        "tool": "repro-fp",
+        "version": __version__,
+        "command": command,
+        "telemetry": snapshot,
+        "result": result,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False, default=str)
 
 
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    json_target: Optional[str] = getattr(args, "json", None)
+    trace_path: Optional[str] = getattr(args, "trace", None)
+
+    # Start each invocation from a clean slate so repeated in-process
+    # calls (tests, notebooks) never inherit spans from a prior run.
+    telemetry.disable()
+    telemetry.get_tracer().reset()
+    telemetry.get_registry().reset()
+    if trace_path:
+        telemetry.enable(trace=True, metrics=False)
+    if getattr(args, "metrics", False) or json_target is not None:
+        telemetry.enable(trace=False, metrics=True)
+
     try:
-        return args.func(args)
-    except ReproError as exc:
-        print(f"error: {exc.diagnostic()}", file=sys.stderr)
-        return 3
+        try:
+            code, result = args.func(args)
+        except ReproError as exc:
+            print(f"error: {exc.diagnostic()}", file=sys.stderr)
+            code, result = 3, {"error": exc.diagnostic()}
+        spans = telemetry.get_tracer().drain()
+        snapshot = telemetry.telemetry_snapshot(spans)
+        if trace_path:
+            n_events = telemetry.write_chrome_trace(trace_path, spans)
+            _say(args, f"wrote {trace_path} ({n_events} events)")
+        if json_target is not None:
+            text = _envelope(args.command, result, snapshot)
+            if json_target == "-":
+                print(text)
+            else:
+                with open(json_target, "w") as handle:
+                    handle.write(text + "\n")
+                _say(args, f"wrote {json_target}")
+        return code
+    finally:
+        telemetry.disable()
+        telemetry.get_tracer().reset()
+        telemetry.get_registry().reset()
 
 
 if __name__ == "__main__":

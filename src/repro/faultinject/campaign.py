@@ -33,7 +33,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from ..budget import Budget
 from ..errors import FaultInjectionError, ReproError
 from ..flows.ladder import LadderConfig
-from ..flows.pipeline import fingerprint_flow
+from ..flows.options import FlowOptions
+from ..flows.pipeline import run_flow
 from ..netlist.circuit import Circuit
 from .corruptors import ALL_CORRUPTORS, Corruptor
 from .mutators import ALL_MUTATORS, Mutator
@@ -201,7 +202,7 @@ def run_netlist_campaign(
     """Inject every mutator into every circuit and run the full pipeline.
 
     Each (circuit, mutator, trial) triple clones the seed circuit, injects
-    one fault, and pushes the mutant through :func:`fingerprint_flow` under
+    one fault, and pushes the mutant through the fingerprinting flow under
     the cheap :data:`CAMPAIGN_LADDER` verification settings.  The report
     asserts nothing by itself — check :attr:`CampaignReport.clean`.
     """
@@ -226,7 +227,7 @@ def run_netlist_campaign(
                     )
                     continue
                 partial = _classify(
-                    lambda m=mutant: fingerprint_flow(m, ladder=ladder)
+                    lambda m=mutant: run_flow(m, FlowOptions(ladder=ladder))
                 )
                 report.records.append(
                     _stamp(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .. import telemetry
 from ..netlist.circuit import Circuit, Gate
 from .locations import LocationCatalog
 from .modifications import Slot
@@ -216,7 +217,11 @@ def embed(
     name: Optional[str] = None,
 ) -> FingerprintedCircuit:
     """Produce a fingerprint copy realizing ``assignment``."""
-    copy = FingerprintedCircuit(base, catalog, name=name)
-    copy.apply_assignment(assignment)
-    copy.circuit.validate()
+    with telemetry.span("fingerprint.embed", design=base.name) as embed_span:
+        copy = FingerprintedCircuit(base, catalog, name=name)
+        copy.apply_assignment(assignment)
+        copy.circuit.validate()
+        embed_span.set(modifications=copy.n_active)
+    telemetry.count("fingerprint.embeds")
+    telemetry.count("fingerprint.modifications", copy.n_active)
     return copy

@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..cells import functions
 from ..ir import compile_circuit
 from ..netlist.circuit import Circuit, Gate
@@ -141,6 +142,19 @@ def find_locations(
     Each gate is used as a slot target at most once across the catalog, so
     every slot can be toggled independently of all others.
     """
+    with telemetry.span(
+        "fingerprint.locate", design=circuit.name, gates=circuit.n_gates
+    ) as locate_span:
+        catalog = _find_locations(circuit, options)
+        locate_span.set(locations=len(catalog.locations))
+    telemetry.count("fingerprint.catalogs")
+    return catalog
+
+
+def _find_locations(
+    circuit: Circuit,
+    options: Optional[FinderOptions],
+) -> LocationCatalog:
     options = options or FinderOptions()
     rng = random.Random(options.seed)
     compiled = compile_circuit(circuit)

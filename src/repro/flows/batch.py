@@ -19,12 +19,15 @@ single-process path — ``jobs`` only changes wall-clock time.
 
 from __future__ import annotations
 
+import os
 import random
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..analysis.compare import overhead
 from ..analysis.metrics import measure
 from ..errors import ReproError, annotate
@@ -33,7 +36,9 @@ from ..fingerprint.embed import embed
 from ..fingerprint.locations import FinderOptions, find_locations
 from ..netlist.circuit import Circuit
 from ..sat.incremental import IncrementalCecSession
-from .ladder import LadderConfig, verify_equivalence
+from ..telemetry.metrics import safe_rate
+from .ladder import LadderConfig, run_ladder
+from .options import FlowOptions
 
 
 class BatchError(ReproError, ValueError):
@@ -69,10 +74,12 @@ class BatchResult:
 
     @property
     def copies_per_sec(self) -> float:
-        """End-to-end throughput (embedding + verification included)."""
-        if self.wall_seconds <= 0.0:
-            return 0.0
-        return self.n_copies / self.wall_seconds
+        """End-to-end throughput (embedding + verification included).
+
+        Zero-guarded (:func:`repro.telemetry.safe_rate`): a coarse clock
+        timing the whole batch at 0 s reports 0.0 instead of dividing.
+        """
+        return safe_rate(self.n_copies, self.wall_seconds)
 
     @property
     def n_equivalent(self) -> int:
@@ -170,7 +177,19 @@ def _init_worker(
     options: Optional[FinderOptions],
     ladder: Optional[LadderConfig],
     measure_overheads: bool,
+    telemetry_flags: Tuple[bool, bool] = (False, False),
 ) -> None:
+    # Workers inherit the parent's telemetry switches so their span
+    # trees and metric snapshots ride back with the chunk results.
+    # Under the fork start method they also inherit the parent's live
+    # tracer stack (the open batch.run span) and registry — clear both,
+    # or worker spans nest under an unreachable ghost and never drain.
+    trace_on, metrics_on = telemetry_flags
+    telemetry.disable()
+    telemetry.get_tracer().reset()
+    telemetry.get_registry().reset()
+    if trace_on or metrics_on:
+        telemetry.enable(trace=trace_on, metrics=metrics_on)
     _WORKER.clear()
     _WORKER.update(_build_state(base, options, ladder, measure_overheads))
 
@@ -178,15 +197,20 @@ def _init_worker(
 def _verify_one(state: Dict[str, object], value: int) -> CopyRecord:
     start = time.perf_counter()
     base: Circuit = state["base"]
-    assignment = state["codec"].encode(value)
-    copy = embed(base, state["catalog"], assignment, name=f"{base.name}_v{value}")
-    report = verify_equivalence(
-        base, copy.circuit, config=state["ladder"], session=state["session"]
-    )
-    area = delay = power = None
-    if state["baseline"] is not None:
-        over = overhead(state["baseline"], measure(copy.circuit))
-        area, delay, power = over.area, over.delay, over.power
+    with telemetry.span("batch.copy", value=value) as copy_span:
+        assignment = state["codec"].encode(value)
+        copy = embed(base, state["catalog"], assignment, name=f"{base.name}_v{value}")
+        report = run_ladder(
+            base, copy.circuit, config=state["ladder"], session=state["session"]
+        )
+        area = delay = power = None
+        if state["baseline"] is not None:
+            over = overhead(state["baseline"], measure(copy.circuit))
+            area, delay, power = over.area, over.delay, over.power
+        copy_span.set(tier=report.tier.value, equivalent=report.equivalent)
+    seconds = time.perf_counter() - start
+    telemetry.count("batch.copies_verified")
+    telemetry.observe("batch.copy_seconds", seconds)
     return CopyRecord(
         value=value,
         n_modifications=copy.n_active,
@@ -195,15 +219,29 @@ def _verify_one(state: Dict[str, object], value: int) -> CopyRecord:
         tier=report.tier.value,
         budget_hit=report.budget_hit,
         reason=report.reason,
-        seconds=time.perf_counter() - start,
+        seconds=seconds,
         area_overhead=area,
         delay_overhead=delay,
         power_overhead=power,
     )
 
 
-def _verify_chunk(values: Sequence[int]) -> List[CopyRecord]:
-    return [_verify_one(_WORKER, value) for value in values]
+def _verify_chunk(
+    values: Sequence[int],
+) -> Tuple[List[CopyRecord], List[Dict[str, Any]], Dict[str, Any]]:
+    """Worker task: records plus the telemetry gathered while producing them.
+
+    Span trees and the metrics snapshot are plain dicts, so they cross
+    the ``ProcessPoolExecutor`` boundary with the results; the parent
+    grafts them into its own tracer/registry (tagged by worker pid).
+    """
+    records = [_verify_one(_WORKER, value) for value in values]
+    spans = telemetry.drain_spans() if telemetry.tracing_enabled() else []
+    pid = os.getpid()
+    for payload in spans:
+        payload.setdefault("attrs", {})["worker"] = pid
+    metrics = telemetry.drain_metrics() if telemetry.metrics_enabled() else {}
+    return records, spans, metrics
 
 
 def _chunked(values: Sequence[int], jobs: int) -> List[List[int]]:
@@ -215,6 +253,89 @@ def _chunked(values: Sequence[int], jobs: int) -> List[List[int]]:
     ]
 
 
+def run_batch_flow(
+    design: Circuit,
+    n_copies: int,
+    opts: Optional[FlowOptions] = None,
+) -> BatchResult:
+    """Generate and verify ``n_copies`` distinct fingerprinted copies.
+
+    This is the engine behind :func:`repro.api.batch`.  Every copy runs
+    the full ladder (structural → exhaustive-sim → incremental SAT →
+    random-sim) against ``design``; a spent SAT budget degrades that
+    copy's verdict exactly as in the single-copy flow, and the
+    degradation is visible per record (``budget_hit``/``proven``).
+
+    ``opts.jobs > 1`` verifies across that many worker processes, each
+    with its own :class:`~repro.sat.incremental.IncrementalCecSession`;
+    results are identical to a serial run, only faster on multi-core
+    hosts.  When telemetry is enabled, workers serialize their span
+    trees and metric snapshots back with the results, so the parent's
+    trace covers the whole pool (one track per worker pid).
+    """
+    opts = opts if opts is not None else FlowOptions()
+    with telemetry.span(
+        "batch.run", design=design.name, copies=n_copies, jobs=opts.jobs
+    ) as batch_span:
+        try:
+            design.validate()
+            catalog = find_locations(design, opts.finder)
+            codec = FingerprintCodec(catalog)
+            values = select_values(codec.combinations, n_copies, seed=opts.seed)
+        except ReproError as exc:
+            raise annotate(exc, stage="batch", design=design.name)
+
+        start = time.perf_counter()
+        if opts.jobs <= 1:
+            state = _build_state(
+                design, opts.finder, opts.ladder, opts.measure_overheads
+            )
+            records = [_verify_one(state, value) for value in values]
+        else:
+            # A fresh clone drops the (potentially large) per-version
+            # caches before pickling the circuit into each worker.
+            payload = design.clone(design.name)
+            flags = (telemetry.tracing_enabled(), telemetry.metrics_enabled())
+            records = []
+            with ProcessPoolExecutor(
+                max_workers=opts.jobs,
+                initializer=_init_worker,
+                initargs=(
+                    payload,
+                    opts.finder,
+                    opts.ladder,
+                    opts.measure_overheads,
+                    flags,
+                ),
+            ) as pool:
+                for chunk_records, spans, metrics in pool.map(
+                    _verify_chunk, _chunked(values, opts.jobs)
+                ):
+                    records.extend(chunk_records)
+                    if spans:
+                        telemetry.get_tracer().adopt(spans)
+                    if metrics:
+                        telemetry.get_registry().merge(metrics)
+        wall = time.perf_counter() - start
+        records.sort(key=lambda record: record.value)
+        result = BatchResult(
+            design=design.name,
+            n_copies=n_copies,
+            jobs=opts.jobs,
+            wall_seconds=wall,
+            records=records,
+        )
+        batch_span.set(
+            wall_seconds=wall,
+            n_equivalent=result.n_equivalent,
+            n_degraded=result.n_degraded,
+        )
+        telemetry.count("batch.runs")
+        telemetry.count("batch.copies", n_copies)
+        telemetry.observe("batch.wall_seconds", wall)
+        return result
+
+
 def run_batch(
     design: Circuit,
     n_copies: int,
@@ -224,51 +345,23 @@ def run_batch(
     ladder: Optional[LadderConfig] = None,
     measure_overheads: bool = False,
 ) -> BatchResult:
-    """Generate and verify ``n_copies`` distinct fingerprinted copies.
-
-    Every copy runs the full ladder (structural → exhaustive-sim →
-    incremental SAT → random-sim) against ``design``; a spent SAT budget
-    degrades that copy's verdict exactly as in the single-copy flow, and
-    the degradation is visible per record (``budget_hit``/``proven``).
-
-    ``jobs > 1`` verifies across that many worker processes, each with its
-    own :class:`~repro.sat.incremental.IncrementalCecSession`; results are
-    identical to ``jobs=1``, only faster on multi-core hosts.
-    """
-    try:
-        design.validate()
-        catalog = find_locations(design, options)
-        codec = FingerprintCodec(catalog)
-        values = select_values(codec.combinations, n_copies, seed=seed)
-    except ReproError as exc:
-        raise annotate(exc, stage="batch", design=design.name)
-
-    start = time.perf_counter()
-    if jobs <= 1:
-        state = _build_state(design, options, ladder, measure_overheads)
-        records = [_verify_one(state, value) for value in values]
-    else:
-        # A fresh clone drops the (potentially large) per-version caches
-        # before pickling the circuit into each worker.
-        payload = design.clone(design.name)
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(payload, options, ladder, measure_overheads),
-        ) as pool:
-            records = [
-                record
-                for chunk in pool.map(_verify_chunk, _chunked(values, jobs))
-                for record in chunk
-            ]
-    wall = time.perf_counter() - start
-    records.sort(key=lambda record: record.value)
-    return BatchResult(
-        design=design.name,
-        n_copies=n_copies,
-        jobs=jobs,
-        wall_seconds=wall,
-        records=records,
+    """Deprecated pre-facade signature; use :func:`repro.api.batch`."""
+    warnings.warn(
+        "run_batch() is deprecated; use repro.api.batch(design, n_copies, "
+        "FlowOptions(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_batch_flow(
+        design,
+        n_copies,
+        FlowOptions(
+            jobs=jobs,
+            seed=seed,
+            finder=options,
+            ladder=ladder,
+            measure_overheads=measure_overheads,
+        ),
     )
 
 
@@ -277,5 +370,6 @@ __all__ = [
     "BatchResult",
     "CopyRecord",
     "run_batch",
+    "run_batch_flow",
     "select_values",
 ]

@@ -23,11 +23,13 @@ broken netlists), and then always with a typed :class:`repro.errors.ReproError`.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from typing import TYPE_CHECKING
 
+from .. import telemetry
 from ..budget import Budget
 from ..errors import ReproError, annotate
 from ..netlist.circuit import Circuit
@@ -119,6 +121,21 @@ class VerificationReport:
             raise ValueError("detectable_rate must be in (0, 1]")
         return 1.0 - (1.0 - detectable_rate) ** max(self.n_vectors, 0)
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (the CLI envelope's ``result`` section)."""
+        return {
+            "equivalent": self.equivalent,
+            "proven": self.proven,
+            "tier": self.tier.value,
+            "reason": self.reason,
+            "confidence": self.confidence,
+            "n_vectors": self.n_vectors,
+            "counterexample": self.counterexample,
+            "output": self.output,
+            "budget_hit": self.budget_hit,
+            "tiers_tried": list(self.tiers_tried),
+        }
+
     def as_equivalence_result(self) -> EquivalenceResult:
         """Legacy :class:`EquivalenceResult` view (pre-ladder interface)."""
         return EquivalenceResult(
@@ -136,7 +153,7 @@ class VerificationReport:
         return f"{verdict} [{self.tier.value}, {strength}] — {self.reason}"
 
 
-def verify_equivalence(
+def run_ladder(
     left: Circuit,
     right: Circuit,
     config: Optional[LadderConfig] = None,
@@ -155,6 +172,27 @@ def verify_equivalence(
     share one solver and its learned clauses.  Budgets and UNDECIDED
     degradation behave identically either way.
     """
+    with telemetry.span("ladder.verify", design=left.name) as ladder_span:
+        report = _run_tiers(left, right, config, session)
+        ladder_span.set(
+            tier=report.tier.value,
+            equivalent=report.equivalent,
+            proven=report.proven,
+            budget_hit=report.budget_hit,
+        )
+        telemetry.count("ladder.runs")
+        telemetry.count(f"ladder.tier.{report.tier.value}")
+        if report.budget_hit:
+            telemetry.count("ladder.budget_hits")
+        return report
+
+
+def _run_tiers(
+    left: Circuit,
+    right: Circuit,
+    config: Optional[LadderConfig],
+    session: Optional["IncrementalCecSession"],
+) -> VerificationReport:
     config = config if config is not None else LadderConfig()
     if session is not None and session.base is not left:
         raise ValueError("session base does not match the left circuit")
@@ -165,7 +203,9 @@ def verify_equivalence(
     # case in multi-copy flows; canonical hashing proves it without
     # simulating or building a miter.  Only a positive identity decides —
     # a negative just drops to the normal ladder.
-    if structurally_identical(left, right):
+    with telemetry.span("ladder.structural"):
+        identical = structurally_identical(left, right)
+    if identical:
         return VerificationReport(
             equivalent=True,
             proven=True,
@@ -181,7 +221,8 @@ def verify_equivalence(
     if n_inputs <= limit:
         tried.append(VerificationTier.EXHAUSTIVE_SIM.value)
         try:
-            result = exhaustive_equivalent(left, right)
+            with telemetry.span("ladder.exhaustive_sim", inputs=n_inputs):
+                result = exhaustive_equivalent(left, right)
         except ReproError as exc:
             raise annotate(exc, stage="verify", design=left.name)
         return VerificationReport(
@@ -202,11 +243,31 @@ def verify_equivalence(
     sat_stats: Optional[SolverStats] = None
     if config.use_sat:
         tried.append(VerificationTier.SAT_CEC.value)
+        tier_budget = config.sat_budget
+        tier_span = telemetry.span(
+            "ladder.sat_cec",
+            deadline_s=tier_budget.deadline_s,
+            max_conflicts=tier_budget.max_conflicts,
+            incremental=session is not None,
+        )
+        conflicts_before = session.solver.stats.conflicts if session is not None else 0
         try:
-            if session is not None:
-                cec = session.verify(right, budget=config.sat_budget)
-            else:
-                cec = sat_check(left, right, budget=config.sat_budget)
+            with tier_span:
+                if session is not None:
+                    cec = session.verify(right, budget=tier_budget)
+                else:
+                    cec = sat_check(left, right, budget=tier_budget)
+                spent = cec.stats.conflicts - conflicts_before
+                remaining = (
+                    max(0, tier_budget.max_conflicts - spent)
+                    if tier_budget.max_conflicts is not None
+                    else None
+                )
+                tier_span.set(
+                    verdict=cec.verdict.value,
+                    conflicts_spent=spent,
+                    conflicts_remaining=remaining,
+                )
         except ReproError as exc:
             raise annotate(exc, stage="verify", design=left.name)
         sat_stats = cec.stats
@@ -230,9 +291,10 @@ def verify_equivalence(
     # ---- tier 3: random-simulation fallback --------------------------- #
     tried.append(VerificationTier.RANDOM_SIM.value)
     try:
-        result = random_equivalent(
-            left, right, n_vectors=config.n_random_vectors, seed=config.seed
-        )
+        with telemetry.span("ladder.random_sim", vectors=config.n_random_vectors):
+            result = random_equivalent(
+                left, right, n_vectors=config.n_random_vectors, seed=config.seed
+            )
     except ReproError as exc:
         raise annotate(exc, stage="verify", design=left.name)
     proven = not result.equivalent  # a concrete mismatch is definitive
@@ -266,10 +328,32 @@ def verify_equivalence(
     )
 
 
+#: Facade-facing name for the ladder's report type.
+LadderResult = VerificationReport
+
+
+def verify_equivalence(
+    left: Circuit,
+    right: Circuit,
+    config: Optional[LadderConfig] = None,
+    session: Optional["IncrementalCecSession"] = None,
+) -> VerificationReport:
+    """Deprecated pre-facade entry point; use :func:`repro.api.verify`."""
+    warnings.warn(
+        "verify_equivalence() is deprecated; use repro.api.verify(left, right, "
+        "FlowOptions(ladder=...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_ladder(left, right, config=config, session=session)
+
+
 __all__ = [
     "DEFAULT_SAT_BUDGET",
     "LadderConfig",
+    "LadderResult",
     "VerificationReport",
     "VerificationTier",
+    "run_ladder",
     "verify_equivalence",
 ]

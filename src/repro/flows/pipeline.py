@@ -16,9 +16,11 @@ verdict (recorded in :attr:`FlowResult.verification`), it never raises.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
+from .. import telemetry
 from ..analysis.compare import Overhead, overhead
 from ..analysis.metrics import Metrics, measure
 from ..errors import ReproError, annotate
@@ -31,7 +33,8 @@ from ..netlist.circuit import Circuit
 from ..netlist.sop import SopNetwork
 from ..sim.equivalence import EquivalenceResult
 from ..techmap.mapper import map_network
-from .ladder import LadderConfig, VerificationReport, verify_equivalence
+from .ladder import LadderConfig, VerificationReport, run_ladder
+from .options import FlowOptions
 
 
 @dataclass
@@ -95,11 +98,79 @@ def _to_circuit(design: Union[Circuit, SopNetwork, str], map_style: str) -> Circ
 
 
 def _staged(stage: str, design_name: str, fn, *args, **kwargs):
-    """Run one pipeline stage, annotating any typed error with context."""
-    try:
-        return fn(*args, **kwargs)
-    except ReproError as exc:
-        raise annotate(exc, stage=stage, design=design_name)
+    """Run one pipeline stage in a span, annotating typed errors."""
+    with telemetry.span(f"fingerprint.{stage}", design=design_name):
+        try:
+            return fn(*args, **kwargs)
+        except ReproError as exc:
+            raise annotate(exc, stage=stage, design=design_name)
+
+
+def run_flow(
+    design: Union[Circuit, SopNetwork, str],
+    opts: Optional[FlowOptions] = None,
+) -> FlowResult:
+    """Run the full fingerprinting pipeline on ``design``.
+
+    This is the engine behind :func:`repro.api.fingerprint` — all knobs
+    arrive through one keyword-only :class:`FlowOptions`.
+    ``opts.assignment`` defaults to the paper's maximal embedding (one
+    modification per location).  When ``opts.delay_constraint`` is given,
+    the reactive heuristic prunes the embedded copy to fit
+    ``(1 + delay_constraint) * baseline_delay``.  ``opts.ladder`` tunes
+    the budgeted verification ladder (exhaustive sim → budgeted SAT CEC →
+    random-sim fallback); verification budget exhaustion degrades the
+    verdict instead of raising.
+    """
+    opts = opts if opts is not None else FlowOptions()
+    with telemetry.span("fingerprint.flow", style=opts.map_style) as flow_span:
+        base = _to_circuit(design, opts.map_style)
+        flow_span.set(design=base.name, gates=base.n_gates)
+        _staged("validate", base.name, base.validate)
+        catalog = _staged("locate", base.name, find_locations, base, opts.finder)
+        report = _staged("capacity", base.name, capacity, catalog)
+        codec = FingerprintCodec(catalog)
+        chosen = (
+            opts.assignment
+            if opts.assignment is not None
+            else full_assignment(base, catalog)
+        )
+        copy = _staged("embed", base.name, embed, base, catalog, chosen)
+
+        constrained: Optional[ConstraintResult] = None
+        if opts.delay_constraint is not None:
+            constrained = _staged(
+                "constrain",
+                base.name,
+                reactive_delay_constrain,
+                copy,
+                opts.delay_constraint,
+                seed=opts.seed,
+            )
+
+        verification: Optional[VerificationReport] = None
+        equivalence: Optional[EquivalenceResult] = None
+        if opts.verify:
+            verification = run_ladder(base, copy.circuit, config=opts.ladder)
+            equivalence = verification.as_equivalence_result()
+
+        baseline_metrics = _staged("measure", base.name, measure, base)
+        fingerprinted_metrics = _staged("measure", base.name, measure, copy.circuit)
+        telemetry.count("fingerprint.flows")
+        telemetry.count("fingerprint.locations", report.n_locations)
+        return FlowResult(
+            base=base,
+            catalog=catalog,
+            capacity=report,
+            codec=codec,
+            copy=copy,
+            baseline_metrics=baseline_metrics,
+            fingerprinted_metrics=fingerprinted_metrics,
+            overhead=overhead(baseline_metrics, fingerprinted_metrics),
+            equivalence=equivalence,
+            constrained=constrained,
+            verification=verification,
+        )
 
 
 def fingerprint_flow(
@@ -112,53 +183,22 @@ def fingerprint_flow(
     seed: int = 0,
     ladder: Optional[LadderConfig] = None,
 ) -> FlowResult:
-    """Run the full fingerprinting pipeline on ``design``.
-
-    ``assignment`` defaults to the paper's maximal embedding (one
-    modification per location).  When ``delay_constraint`` is given, the
-    reactive heuristic prunes the embedded copy to fit
-    ``(1 + delay_constraint) * baseline_delay``.  ``ladder`` tunes the
-    budgeted verification ladder (exhaustive sim → budgeted SAT CEC →
-    random-sim fallback); verification budget exhaustion degrades the
-    verdict instead of raising.
-    """
-    base = _to_circuit(design, map_style)
-    _staged("validate", base.name, base.validate)
-    catalog = _staged("locate", base.name, find_locations, base, options)
-    report = _staged("capacity", base.name, capacity, catalog)
-    codec = FingerprintCodec(catalog)
-    chosen = assignment if assignment is not None else full_assignment(base, catalog)
-    copy = _staged("embed", base.name, embed, base, catalog, chosen)
-
-    constrained: Optional[ConstraintResult] = None
-    if delay_constraint is not None:
-        constrained = _staged(
-            "constrain",
-            base.name,
-            reactive_delay_constrain,
-            copy,
-            delay_constraint,
+    """Deprecated pre-facade signature; use :func:`repro.api.fingerprint`."""
+    warnings.warn(
+        "fingerprint_flow() is deprecated; use repro.api.fingerprint(design, "
+        "FlowOptions(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_flow(
+        design,
+        FlowOptions(
+            finder=options,
+            assignment=assignment,
+            delay_constraint=delay_constraint,
+            verify=verify,
+            map_style=map_style,
             seed=seed,
-        )
-
-    verification: Optional[VerificationReport] = None
-    equivalence: Optional[EquivalenceResult] = None
-    if verify:
-        verification = verify_equivalence(base, copy.circuit, config=ladder)
-        equivalence = verification.as_equivalence_result()
-
-    baseline_metrics = _staged("measure", base.name, measure, base)
-    fingerprinted_metrics = _staged("measure", base.name, measure, copy.circuit)
-    return FlowResult(
-        base=base,
-        catalog=catalog,
-        capacity=report,
-        codec=codec,
-        copy=copy,
-        baseline_metrics=baseline_metrics,
-        fingerprinted_metrics=fingerprinted_metrics,
-        overhead=overhead(baseline_metrics, fingerprinted_metrics),
-        equivalence=equivalence,
-        constrained=constrained,
-        verification=verification,
+            ladder=ladder,
+        ),
     )

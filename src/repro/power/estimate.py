@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import telemetry
 from ..netlist.circuit import Circuit
 from .activity import propagate_probabilities, switching_activity
 
@@ -38,20 +39,24 @@ def estimate_power(
     activities: Optional[Dict[str, float]] = None,
 ) -> PowerReport:
     """Estimate power; activities default to the analytic propagation."""
-    if activities is None:
-        probabilities = propagate_probabilities(circuit, input_probabilities)
-        activities = switching_activity(probabilities)
-    dynamic = 0.0
-    leakage = 0.0
-    for gate in circuit.gates:
-        activity = activities.get(gate.name, 0.0)
-        load_cap = sum(
-            circuit.gate(consumer).cell.input_cap
-            for consumer in circuit.fanouts(gate.name)
-        )
-        dynamic += activity * (gate.cell.switch_energy + 0.5 * load_cap)
-        leakage += gate.cell.leakage
-    return PowerReport(dynamic=POWER_SCALE * dynamic, leakage=leakage)
+    with telemetry.span(
+        "power.estimate", design=circuit.name, gates=circuit.n_gates
+    ):
+        if activities is None:
+            probabilities = propagate_probabilities(circuit, input_probabilities)
+            activities = switching_activity(probabilities)
+        dynamic = 0.0
+        leakage = 0.0
+        for gate in circuit.gates:
+            activity = activities.get(gate.name, 0.0)
+            load_cap = sum(
+                circuit.gate(consumer).cell.input_cap
+                for consumer in circuit.fanouts(gate.name)
+            )
+            dynamic += activity * (gate.cell.switch_energy + 0.5 * load_cap)
+            leakage += gate.cell.leakage
+        telemetry.count("power.estimates")
+        return PowerReport(dynamic=POWER_SCALE * dynamic, leakage=leakage)
 
 
 def total_power(

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..budget import Budget, BudgetClock
 from ..ir import compile_circuit
 from ..netlist.circuit import Circuit
@@ -111,32 +112,37 @@ class IncrementalCecSession:
         self._base_version = base.version
         self.stats = SessionStats()
 
-        encoding = encode_circuit(base)
-        self._base_var: Dict[str, int] = dict(encoding.var_of)
-        self.solver = CdclSolver(encoding.cnf)
-        self._sink = _SolverSink(self.solver)
+        with telemetry.span(
+            "sat.encode_base", design=base.name, gates=base.n_gates
+        ):
+            encoding = encode_circuit(base)
+            self._base_var: Dict[str, int] = dict(encoding.var_of)
+            self.solver = CdclSolver(encoding.cnf)
+            self._sink = _SolverSink(self.solver)
 
-        # Structural-hash table over CNF variables: (kind, fanin vars) ->
-        # output var.  Seeded from the base; grows with every fresh gate a
-        # copy introduces, so later copies share earlier copies' deltas too.
-        self._strash: Dict[Tuple, int] = {}
-        #: Per-base-gate canonical key, for name-stable matching: a copy
-        #: gate that keeps its base name and definition maps to its own
-        #: base variable even when another base gate shares the same key
-        #: (duplicate gates would otherwise alias and look "modified").
-        self._base_key: Dict[str, Tuple] = {}
-        compiled = compile_circuit(base)
-        for gate in compiled.gates_in_order():
-            key = self._key(gate.kind, [self._base_var[n] for n in gate.inputs])
-            self._base_key[gate.name] = key
-            self._strash.setdefault(key, self._base_var[gate.name])
+            # Structural-hash table over CNF variables: (kind, fanin vars)
+            # -> output var.  Seeded from the base; grows with every fresh
+            # gate a copy introduces, so later copies share earlier
+            # copies' deltas too.
+            self._strash: Dict[Tuple, int] = {}
+            #: Per-base-gate canonical key, for name-stable matching: a
+            #: copy gate that keeps its base name and definition maps to
+            #: its own base variable even when another base gate shares
+            #: the same key (duplicate gates would otherwise alias and
+            #: look "modified").
+            self._base_key: Dict[str, Tuple] = {}
+            compiled = compile_circuit(base)
+            for gate in compiled.gates_in_order():
+                key = self._key(gate.kind, [self._base_var[n] for n in gate.inputs])
+                self._base_key[gate.name] = key
+                self._strash.setdefault(key, self._base_var[gate.name])
 
-        self.n_vectors = n_vectors
-        self._stimulus = random_stimulus(base.inputs, n_vectors, seed=seed)
-        matrix = Simulator(base).run_matrix(self._stimulus)
-        self._base_rows: Dict[str, np.ndarray] = {
-            net: matrix[compiled.id_of(net)].copy() for net in base.outputs
-        }
+            self.n_vectors = n_vectors
+            self._stimulus = random_stimulus(base.inputs, n_vectors, seed=seed)
+            matrix = Simulator(base).run_matrix(self._stimulus)
+            self._base_rows: Dict[str, np.ndarray] = {
+                net: matrix[compiled.id_of(net)].copy() for net in base.outputs
+            }
 
     @staticmethod
     def _key(kind: str, in_vars: Sequence[int]) -> Tuple:
@@ -185,6 +191,21 @@ class IncrementalCecSession:
         conflicts/decisions spent on earlier outputs count against later
         ones.
         """
+        with telemetry.span(
+            "cec.verify", design=copy.name, outputs=len(copy.outputs)
+        ) as verify_span:
+            result = self._verify(copy, budget)
+            verify_span.set(
+                verdict=result.verdict.value,
+                outputs_sat=result.detail.get("outputs_sat"),
+                gates_encoded=result.detail.get("gates_encoded"),
+                gates_reused=result.detail.get("gates_reused"),
+            )
+            telemetry.count("cec.copies")
+            telemetry.count(f"cec.verdict.{result.verdict.value}")
+            return result
+
+    def _verify(self, copy: Circuit, budget: Optional[Budget]) -> CecResult:
         if self.base.version != self._base_version:
             raise ValueError("base circuit was mutated after session construction")
         if set(copy.inputs) != set(self.base.inputs):

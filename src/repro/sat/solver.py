@@ -28,7 +28,9 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import telemetry
 from ..budget import Budget, UNLIMITED
+from ..telemetry.metrics import safe_rate
 from .cnf import Cnf
 
 _UNASSIGNED = -1
@@ -68,10 +70,13 @@ class SolverStats:
 
     @property
     def propagations_per_sec(self) -> float:
-        """Propagation throughput over the accumulated solve time."""
-        if self.solve_seconds <= 0.0:
-            return 0.0
-        return self.propagations / self.solve_seconds
+        """Propagation throughput over the accumulated solve time.
+
+        Routed through :func:`repro.telemetry.safe_rate`, so an instant
+        solve on a coarse clock (``solve_seconds == 0``) reports 0.0
+        instead of raising ``ZeroDivisionError``.
+        """
+        return safe_rate(self.propagations, self.solve_seconds)
 
 
 class SatStatus(enum.Enum):
@@ -544,11 +549,28 @@ class CdclSolver:
         always returns at decision level 0, ready for the next
         :meth:`add_clause` / :meth:`solve`.
         """
+        stats = self.stats
+        conflicts0 = stats.conflicts
+        propagations0 = stats.propagations
         start = time.perf_counter()
-        try:
-            return self._solve(assumptions, budget)
-        finally:
-            self.stats.solve_seconds += time.perf_counter() - start
+        with telemetry.span("sat.solve", vars=self.n_vars) as solve_span:
+            try:
+                result = self._solve(assumptions, budget)
+            finally:
+                elapsed = time.perf_counter() - start
+                stats.solve_seconds += elapsed
+                telemetry.count("sat.solves")
+                telemetry.count("sat.conflicts", stats.conflicts - conflicts0)
+                telemetry.count(
+                    "sat.propagations", stats.propagations - propagations0
+                )
+                telemetry.count("sat.solve_seconds", elapsed)
+                telemetry.observe("sat.solve_seconds_hist", elapsed)
+            solve_span.set(
+                status=result.status.value,
+                conflicts=stats.conflicts - conflicts0,
+            )
+            return result
 
     def _solve(
         self,

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..ir import CompiledCircuit, compile_circuit
 from ..ir.kernels import popcount
 from ..netlist.circuit import Circuit
@@ -70,7 +71,26 @@ class Simulator:
         use :attr:`compiled` to translate names and IDs.  This is the
         zero-copy interface the observability and power engines build on.
         """
-        return self.compiled.run_matrix(self._input_rows(stimulus))
+        rows = self._input_rows(stimulus)
+        compiled = self.compiled
+        # Hot path: when tracing is off, no span object is allocated —
+        # the guard below is the entire telemetry cost per simulation.
+        if not telemetry.tracing_enabled():
+            matrix = compiled.run_matrix(rows)
+        else:
+            with telemetry.span(
+                "sim.run_matrix",
+                design=self.circuit.name,
+                nets=len(compiled.names),
+                words=int(rows.shape[1]) if rows.size else 0,
+            ):
+                matrix = compiled.run_matrix(rows)
+        if telemetry.metrics_enabled():
+            telemetry.count("sim.runs")
+            telemetry.count(
+                "sim.gate_words", float(self.circuit.n_gates * rows.shape[1])
+            )
+        return matrix
 
     def run(
         self,
@@ -84,7 +104,7 @@ class Simulator:
         matrix; treat them as read-only.
         """
         compiled = self.compiled
-        values = compiled.run_matrix(self._input_rows(stimulus))
+        values = self.run_matrix(stimulus)
         if nets is None:
             return dict(zip(compiled.names, values))
         return {net: values[compiled.id_of(net)] for net in nets}

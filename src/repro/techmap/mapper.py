@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .. import telemetry
 from ..cells.library import CellLibrary
 from ..netlist.build import CircuitBuilder
 from ..netlist.circuit import Circuit
@@ -227,4 +228,12 @@ def map_network(
     minimize: bool = False,
 ) -> Circuit:
     """One-shot mapping convenience function."""
-    return TechMapper(library, style, minimize=minimize).map(network, name=name)
+    with telemetry.span(
+        "techmap.map", design=name or network.name, style=style,
+        nodes=len(network.nodes),
+    ) as map_span:
+        circuit = TechMapper(library, style, minimize=minimize).map(network, name=name)
+        map_span.set(gates=circuit.n_gates)
+        telemetry.count("techmap.networks")
+        telemetry.count("techmap.gates", circuit.n_gates)
+        return circuit

@@ -1,0 +1,108 @@
+"""Exporters: JSON span/metric snapshots and Chrome trace-event files.
+
+``to_chrome_trace`` emits the Trace Event Format understood by
+``chrome://tracing`` and https://ui.perfetto.dev — complete (``"ph":
+"X"``) events with microsecond timestamps, one track (``tid``) per
+worker process, and span attributes in ``args``.  ``telemetry_snapshot``
+produces the ``"telemetry"`` section of the unified CLI JSON envelope.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .core import Span, get_tracer, span_from_dict
+from .metrics import get_registry
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _as_span(item: SpanLike) -> Span:
+    return item if isinstance(item, Span) else span_from_dict(item)
+
+
+def _emit_events(
+    node: Span,
+    events: List[Dict[str, Any]],
+    pid: int,
+    tid: int,
+) -> None:
+    # A span adopted from a worker carries its origin pid in ``worker``;
+    # give each worker its own track so parallel copies render side by
+    # side instead of stacked into one false call tree.
+    tid = int(node.attrs.get("worker", tid))
+    events.append(
+        {
+            "name": node.name,
+            "cat": node.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": node.start * 1e6,
+            "dur": node.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": {
+                key: value
+                for key, value in node.attrs.items()
+                if isinstance(value, (str, int, float, bool)) or value is None
+            },
+        }
+    )
+    for child in node.children:
+        _emit_events(child, events, pid, tid)
+
+
+def to_chrome_trace(
+    spans: Optional[Sequence[SpanLike]] = None, pid: int = 0
+) -> Dict[str, Any]:
+    """Span trees (default: the tracer's finished roots) as a trace dict."""
+    if spans is None:
+        spans = get_tracer().finished
+    events: List[Dict[str, Any]] = []
+    for root in spans:
+        _emit_events(_as_span(root), events, pid, tid=0)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, spans: Optional[Sequence[SpanLike]] = None
+) -> int:
+    """Write a ``chrome://tracing``-loadable file; returns the event count."""
+    trace = to_chrome_trace(spans)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")
+    return len(trace["traceEvents"])
+
+
+def telemetry_snapshot(
+    spans: Optional[Sequence[SpanLike]] = None,
+    include_spans: bool = False,
+) -> Dict[str, Any]:
+    """The ``"telemetry"`` section of the unified JSON envelope.
+
+    Always includes the metrics snapshot and span counts; the full span
+    trees are bulky, so they are only inlined on request (the CLI writes
+    them to the ``--trace`` file instead).
+    """
+    if spans is None:
+        spans = get_tracer().finished
+    roots = [_as_span(root) for root in spans]
+    payload: Dict[str, Any] = {
+        "n_spans": sum(1 for root in roots for _ in root.walk()),
+        "n_roots": len(roots),
+        "subsystems": sorted(
+            {node.name.split(".", 1)[0] for root in roots for node in root.walk()}
+        ),
+        "metrics": get_registry().snapshot(),
+    }
+    if include_spans:
+        payload["spans"] = [root.as_dict() for root in roots]
+    return payload
+
+
+__all__ = [
+    "telemetry_snapshot",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

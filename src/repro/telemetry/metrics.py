@@ -1,0 +1,170 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The registry is the single accounting surface the pipeline publishes
+into — SAT propagation counts, simulation words, batch throughput — and
+the single surface benchmarks and the CLI JSON envelope read back.  All
+module-level update helpers (:func:`count`, :func:`gauge`,
+:func:`observe`) are guarded by the global telemetry flag: when metrics
+are disabled they cost one flag test and touch nothing.
+
+Snapshots are plain dicts, so worker processes return them with their
+results and the parent folds them in with :meth:`MetricsRegistry.merge`
+(counters and histograms add, gauges last-write-wins).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+from . import core
+
+
+def safe_rate(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``, but 0.0 for empty or instant runs.
+
+    Coarse clocks can time a real unit of work at exactly zero seconds;
+    every throughput figure in the codebase routes through this guard so
+    an instant solve can never raise ``ZeroDivisionError``.
+    """
+    if denominator <= 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return safe_rate(self.total, self.count)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one process."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def rate(self, numerator: str, denominator: str) -> float:
+        """Ratio of two counters, zero-guarded (see :func:`safe_rate`)."""
+        return safe_rate(
+            self.counters.get(numerator, 0.0),
+            self.counters.get(denominator, 0.0),
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable copy of the whole registry."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another process's :meth:`snapshot` into this registry."""
+        for name, amount in snapshot.get("counters", {}).items():
+            self.count(name, amount)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            if summary.get("count", 0):
+                histogram.count += int(summary["count"])
+                histogram.total += float(summary["sum"])
+                histogram.min = min(histogram.min, float(summary["min"]))
+                histogram.max = max(histogram.max, float(summary["max"]))
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def count(name: str, amount: float = 1.0) -> None:
+    """Increment a counter — no-op while metrics are disabled."""
+    if core._METRICS:
+        _REGISTRY.count(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge — no-op while metrics are disabled."""
+    if core._METRICS:
+        _REGISTRY.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample — no-op while metrics are disabled."""
+    if core._METRICS:
+        _REGISTRY.observe(name, value)
+
+
+def drain_metrics() -> Dict[str, Any]:
+    """Snapshot and clear the registry (worker-to-parent hand-off)."""
+    snapshot = _REGISTRY.snapshot()
+    _REGISTRY.reset()
+    return snapshot
+
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "count",
+    "drain_metrics",
+    "gauge",
+    "get_registry",
+    "observe",
+    "safe_rate",
+]

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import telemetry
 from ..ir import compile_circuit
 from ..netlist.circuit import Circuit
 from .delay_models import DEFAULT_DELAY_MODEL, DelayModel
@@ -46,6 +47,13 @@ def analyze(circuit: Circuit, model: Optional[DelayModel] = None) -> TimingRepor
 
     An empty circuit reports zero delay.
     """
+    with telemetry.span("timing.sta", design=circuit.name, gates=circuit.n_gates):
+        report = _analyze(circuit, model)
+    telemetry.count("timing.analyses")
+    return report
+
+
+def _analyze(circuit: Circuit, model: Optional[DelayModel]) -> TimingReport:
     model = model if model is not None else DEFAULT_DELAY_MODEL
     edge_fn = getattr(model, "edge_delay", None)
     arrival: Dict[str, float] = {net: 0.0 for net in circuit.inputs}

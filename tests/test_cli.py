@@ -169,8 +169,78 @@ class TestBatch:
         import json
 
         payload = json.loads(open(json_path).read())
-        assert payload["n_copies"] == 3
-        assert payload["n_mismatch"] == 0
+        assert payload["tool"] == "repro-fp"
+        assert payload["command"] == "batch"
+        assert payload["result"]["n_copies"] == 3
+        assert payload["result"]["n_mismatch"] == 0
+        assert "metrics" in payload["telemetry"]
+
+
+class TestEnvelope:
+    def test_json_stdout_is_pure_envelope(self, golden_v, capsys):
+        import json
+
+        assert main(["locations", golden_v, "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # nothing but the envelope on stdout
+        assert payload["tool"] == "repro-fp"
+        assert payload["command"] == "locations"
+        assert payload["result"]["n_locations"] >= 1
+        from repro import __version__
+
+        assert payload["version"] == __version__
+
+    def test_every_subcommand_shares_the_envelope(self, golden_v, tmp_path, capsys):
+        import json
+
+        out_v = str(tmp_path / "copy.v")
+        runs = [
+            (["embed", golden_v, "--value", "1", "-o", out_v, "--json"], 0),
+            (["extract", out_v, "--golden", golden_v, "--json"], 0),
+            (["verify", golden_v, out_v, "--json"], 0),
+            (["measure", golden_v, "--json"], 0),
+            (["bench", "C432", "--json"], 0),
+        ]
+        for argv, expected in runs:
+            assert main(argv) == expected
+            payload = json.loads(capsys.readouterr().out)
+            assert set(payload) == {
+                "tool", "version", "command", "telemetry", "result"
+            }
+            assert payload["command"] == argv[0]
+
+    def test_error_envelope(self, capsys):
+        assert main(["measure", "design.json", "--json"]) == 3
+        import json
+
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert "error" in payload["result"]
+        assert "DesignLoadError" in captured.err
+
+    def test_trace_file_from_cli(self, golden_v, tmp_path, capsys):
+        import json
+
+        trace_path = str(tmp_path / "verify.trace")
+        assert main(["verify", golden_v, golden_v, "--trace", trace_path]) == 0
+        trace = json.loads(open(trace_path).read())
+        events = trace["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        assert "ladder.verify" in names
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_repeated_invocations_do_not_leak_spans(self, golden_v, tmp_path):
+        import json
+
+        first = str(tmp_path / "a.trace")
+        second = str(tmp_path / "b.trace")
+        assert main(["measure", golden_v, "--trace", first]) == 0
+        assert main(["measure", golden_v, "--trace", second]) == 0
+        n_first = len(json.loads(open(first).read())["traceEvents"])
+        n_second = len(json.loads(open(second).read())["traceEvents"])
+        assert n_first == n_second
 
 
 class TestMeasureFull:

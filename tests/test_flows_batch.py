@@ -128,3 +128,66 @@ class TestBudgetDegradation:
         result = run_batch(narrow, n_copies=2, jobs=1, seed=0)
         assert all(r.tier == "exhaustive-sim" for r in result.records)
         assert all(r.proven for r in result.records)
+
+
+class TestBatchTelemetry:
+    @pytest.fixture(autouse=True)
+    def clean_telemetry(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        telemetry.get_tracer().reset()
+        telemetry.get_registry().reset()
+        yield
+        telemetry.disable()
+        telemetry.get_tracer().reset()
+        telemetry.get_registry().reset()
+
+    def test_worker_spans_round_trip_through_pool(self, wide_base):
+        """Spans recorded inside ProcessPoolExecutor workers come back
+        serialized with the results and graft into the parent's trace,
+        stamped with the worker pid."""
+        import os
+
+        from repro import telemetry
+        from repro.flows import FlowOptions, run_batch_flow
+
+        with telemetry.enabled(trace=True, metrics=True):
+            result = run_batch_flow(wide_base, 4, FlowOptions(jobs=2, seed=2))
+        assert result.n_mismatch == 0
+        roots = telemetry.get_tracer().drain()
+        assert [r.name for r in roots] == ["batch.run"]
+        nodes = list(roots[0].walk())
+        copies = [n for n in nodes if n.name == "batch.copy"]
+        assert len(copies) == 4
+        parent_pid = os.getpid()
+        workers = {n.attrs.get("worker") for n in copies}
+        assert workers and parent_pid not in workers
+        # Worker spans keep their children: the ladder ran inside them.
+        assert any(
+            child.name == "ladder.verify"
+            for copy_span in copies
+            for child in copy_span.children
+        )
+        # Worker metrics merged into the parent registry.
+        counters = telemetry.get_registry().snapshot()["counters"]
+        assert counters["batch.copies_verified"] == 4
+
+    def test_serial_batch_spans_stay_local(self, wide_base):
+        from repro import telemetry
+        from repro.flows import FlowOptions, run_batch_flow
+
+        with telemetry.enabled(trace=True, metrics=True):
+            run_batch_flow(wide_base, 2, FlowOptions(jobs=1, seed=2))
+        roots = telemetry.get_tracer().drain()
+        nodes = list(roots[0].walk())
+        assert sum(1 for n in nodes if n.name == "batch.copy") == 2
+        assert all("worker" not in n.attrs for n in nodes)
+
+    def test_disabled_batch_records_nothing(self, wide_base):
+        from repro import telemetry
+        from repro.flows import FlowOptions, run_batch_flow
+
+        run_batch_flow(wide_base, 2, FlowOptions(jobs=1, seed=2))
+        assert telemetry.get_tracer().finished == []
+        assert telemetry.get_registry().snapshot()["counters"] == {}

@@ -1,0 +1,261 @@
+"""Tests for the telemetry layer: spans, metrics, exporters, overhead."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    NOOP_SPAN,
+    MetricsRegistry,
+    Span,
+    safe_rate,
+    span_from_dict,
+    telemetry_snapshot,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Every test starts and ends with telemetry off and empty."""
+    telemetry.disable()
+    telemetry.get_tracer().reset()
+    telemetry.get_registry().reset()
+    yield
+    telemetry.disable()
+    telemetry.get_tracer().reset()
+    telemetry.get_registry().reset()
+
+
+class TestSpans:
+    def test_disabled_returns_shared_noop(self):
+        assert telemetry.span("x") is NOOP_SPAN
+        assert telemetry.span("y", attr=1) is NOOP_SPAN
+
+    def test_noop_supports_protocol(self):
+        with telemetry.span("x") as sp:
+            sp.set(inner=True)  # must be harmless
+
+    def test_no_span_allocation_while_disabled(self):
+        before = Span.created
+        for _ in range(1000):
+            with telemetry.span("hot.loop", i=1):
+                pass
+        assert Span.created == before
+
+    def test_nesting_builds_a_tree(self):
+        telemetry.enable(trace=True, metrics=False)
+        with telemetry.span("outer", level=0):
+            with telemetry.span("inner.a"):
+                pass
+            with telemetry.span("inner.b") as b:
+                b.set(found=3)
+        roots = telemetry.get_tracer().drain()
+        assert len(roots) == 1
+        (outer,) = roots
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert outer.children[1].attrs["found"] == 3
+        assert outer.duration >= 0.0
+        assert len(list(outer.walk())) == 3
+
+    def test_exception_still_finishes_span(self):
+        telemetry.enable(trace=True, metrics=False)
+        with pytest.raises(ValueError):
+            with telemetry.span("doomed"):
+                raise ValueError("boom")
+        roots = telemetry.get_tracer().drain()
+        assert [r.name for r in roots] == ["doomed"]
+        assert telemetry.get_tracer().current() is None
+
+    def test_dict_round_trip(self):
+        telemetry.enable(trace=True, metrics=False)
+        with telemetry.span("root", design="c17"):
+            with telemetry.span("child", n=2):
+                pass
+        payloads = telemetry.drain_spans()
+        rebuilt = span_from_dict(payloads[0])
+        assert rebuilt.name == "root"
+        assert rebuilt.attrs == {"design": "c17"}
+        assert rebuilt.children[0].name == "child"
+        assert rebuilt.children[0].attrs == {"n": 2}
+        assert rebuilt.as_dict() == payloads[0]
+
+    def test_adopt_grafts_under_open_span(self):
+        telemetry.enable(trace=True, metrics=False)
+        payload = {"name": "worker.task", "start": 1.0, "duration": 0.5}
+        with telemetry.span("parent"):
+            telemetry.get_tracer().adopt([payload], worker=1234)
+        (root,) = telemetry.get_tracer().drain()
+        (adopted,) = root.children
+        assert adopted.name == "worker.task"
+        assert adopted.attrs["worker"] == 1234
+
+    def test_enabled_context_restores_flags(self):
+        assert not telemetry.tracing_enabled()
+        with telemetry.enabled(trace=True, metrics=True):
+            assert telemetry.tracing_enabled()
+            assert telemetry.metrics_enabled()
+        assert not telemetry.tracing_enabled()
+        assert not telemetry.metrics_enabled()
+
+
+class TestMetrics:
+    def test_updates_ignored_while_disabled(self):
+        telemetry.count("a")
+        telemetry.gauge("b", 1.0)
+        telemetry.observe("c", 2.0)
+        snapshot = telemetry.get_registry().snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_counters_gauges_histograms(self):
+        telemetry.enable(trace=False, metrics=True)
+        telemetry.count("solves")
+        telemetry.count("solves", 2)
+        telemetry.gauge("depth", 7)
+        for value in (1.0, 3.0, 2.0):
+            telemetry.observe("seconds", value)
+        snap = telemetry.get_registry().snapshot()
+        assert snap["counters"]["solves"] == 3
+        assert snap["gauges"]["depth"] == 7
+        hist = snap["histograms"]["seconds"]
+        assert hist["count"] == 3
+        assert hist["min"] == 1.0 and hist["max"] == 3.0
+        assert hist["mean"] == pytest.approx(2.0)
+
+    def test_merge_adds_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.count("x", 1)
+        registry.observe("h", 5.0)
+        registry.merge(
+            {
+                "counters": {"x": 2.0, "y": 1.0},
+                "gauges": {"g": 9.0},
+                "histograms": {"h": {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}},
+            }
+        )
+        snap = registry.snapshot()
+        assert snap["counters"] == {"x": 3.0, "y": 1.0}
+        assert snap["gauges"] == {"g": 9.0}
+        assert snap["histograms"]["h"]["count"] == 3
+        assert snap["histograms"]["h"]["min"] == 1.0
+        assert snap["histograms"]["h"]["max"] == 5.0
+
+    def test_safe_rate_zero_guard(self):
+        assert safe_rate(10.0, 0.0) == 0.0
+        assert safe_rate(10.0, -1.0) == 0.0
+        assert safe_rate(10.0, 2.0) == 5.0
+
+    def test_solver_stats_instant_run(self):
+        from repro.sat.solver import SolverStats
+
+        stats = SolverStats()
+        stats.propagations = 100
+        stats.solve_seconds = 0.0
+        assert stats.propagations_per_sec == 0.0
+
+    def test_batch_result_instant_run(self):
+        from repro.flows.batch import BatchResult
+
+        result = BatchResult(design="d", n_copies=5, jobs=1, wall_seconds=0.0)
+        assert result.copies_per_sec == 0.0
+
+
+class TestChromeTrace:
+    def _record_tree(self):
+        telemetry.enable(trace=True, metrics=False)
+        with telemetry.span("batch.run", design="c17"):
+            with telemetry.span("sat.solve", vars=10):
+                pass
+        telemetry.disable()
+        return telemetry.get_tracer().drain()
+
+    def test_event_schema(self):
+        spans = self._record_tree()
+        trace = to_chrome_trace(spans)
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert set(event) == {
+                "name", "cat", "ph", "ts", "dur", "pid", "tid", "args"
+            }
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["dur"] >= 0.0
+        by_name = {e["name"]: e for e in events}
+        assert by_name["batch.run"]["cat"] == "batch"
+        assert by_name["sat.solve"]["cat"] == "sat"
+        assert by_name["sat.solve"]["args"] == {"vars": 10}
+        # Child starts within the parent interval.
+        parent, child = by_name["batch.run"], by_name["sat.solve"]
+        assert parent["ts"] <= child["ts"] <= parent["ts"] + parent["dur"]
+
+    def test_worker_attr_becomes_tid(self):
+        spans = self._record_tree()
+        spans[0].attrs["worker"] = 4321
+        events = to_chrome_trace(spans)["traceEvents"]
+        assert {e["tid"] for e in events} == {4321}
+
+    def test_non_scalar_args_are_dropped(self):
+        telemetry.enable(trace=True, metrics=False)
+        with telemetry.span("x", ok=1, bad=[1, 2], worse={"k": 1}):
+            pass
+        (event,) = to_chrome_trace(telemetry.get_tracer().drain())["traceEvents"]
+        assert event["args"] == {"ok": 1}
+
+    def test_write_chrome_trace_is_loadable(self, tmp_path):
+        import json
+
+        spans = self._record_tree()
+        path = str(tmp_path / "out.trace")
+        n_events = write_chrome_trace(path, spans)
+        assert n_events == 2
+        loaded = json.loads(open(path).read())
+        assert len(loaded["traceEvents"]) == 2
+
+    def test_snapshot_reports_subsystems(self):
+        spans = self._record_tree()
+        snap = telemetry_snapshot(spans)
+        assert snap["n_roots"] == 1
+        assert snap["n_spans"] == 2
+        assert snap["subsystems"] == ["batch", "sat"]
+        assert set(snap["metrics"]) == {"counters", "gauges", "histograms"}
+
+
+class TestInstrumentationOffByDefault:
+    def test_sim_hot_loop_allocates_nothing(self, fig1_circuit):
+        from repro.sim.simulator import Simulator
+        from repro.sim.vectors import exhaustive_stimulus
+
+        sim = Simulator(fig1_circuit)
+        stimulus = exhaustive_stimulus(fig1_circuit.inputs)
+        sim.run_matrix(stimulus)  # warm caches outside the measured loop
+        before = Span.created
+        for _ in range(50):
+            sim.run_matrix(stimulus)
+        assert Span.created == before
+        snap = telemetry.get_registry().snapshot()
+        assert "sim.runs" not in snap["counters"]
+
+    def test_flow_records_nothing_when_disabled(self, fig1_circuit):
+        from repro.flows.pipeline import run_flow
+
+        before = Span.created
+        run_flow(fig1_circuit)
+        assert Span.created == before
+        assert telemetry.get_tracer().finished == []
+
+    def test_flow_records_subsystem_spans_when_enabled(self, fig1_circuit):
+        from repro.flows.pipeline import run_flow
+
+        with telemetry.enabled(trace=True, metrics=True):
+            run_flow(fig1_circuit)
+        roots = telemetry.get_tracer().drain()
+        names = {node.name for root in roots for node in root.walk()}
+        assert "fingerprint.flow" in names
+        assert "fingerprint.locate" in names
+        assert "ladder.verify" in names
+        counters = telemetry.get_registry().snapshot()["counters"]
+        assert counters["fingerprint.flows"] == 1
