@@ -1,0 +1,180 @@
+"""Windowed vs global ODC engine: location-discovery throughput.
+
+Times ``find_locations`` end-to-end under both ``FinderOptions``
+strategies on the larger bundled benchmarks (``k2``, ``des``) and
+asserts the two engines produce identical catalogs — the same
+differential oracle as ``tests/test_odcwin_differential.py``, at
+benchmark scale.  Writes ``BENCH_windowed_odc.json`` at the repository
+root.
+
+Acceptance gate: >= 3x speedup for the windowed engine over the global
+engine on the largest bundled benchmark (``des``, 3544 gates),
+verdict-identical catalogs on every design.
+
+Standalone usage::
+
+    python benchmarks/bench_windowed_odc.py           # full record + gate
+    python benchmarks/bench_windowed_odc.py --smoke   # small CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.bench import RandomLogicSpec, build_benchmark, generate
+from repro.fingerprint import FinderOptions, find_locations
+from repro.netlist.circuit import Circuit
+
+DESIGNS = ("k2", "des")
+GATE_DESIGN = "des"  # largest bundled benchmark: the 3x gate applies here
+MIN_SPEEDUP = 3.0
+N_ROUNDS = 2
+
+RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_windowed_odc.json"
+
+
+def catalog_fingerprint(catalog):
+    return [
+        (
+            loc.primary,
+            loc.ffc_root,
+            loc.trigger,
+            loc.trigger_value,
+            tuple(s.target for s in loc.slots),
+        )
+        for loc in catalog
+    ]
+
+
+def _time_locate(base: Circuit, strategy: str, rounds: int):
+    """Best-of-``rounds`` wall time plus the resulting catalog.
+
+    Each round clones the circuit so no compiled-IR or stimulus cache
+    survives between measurements — both strategies pay their full cost.
+    """
+    best = float("inf")
+    catalog = None
+    for _ in range(rounds):
+        fresh = base.clone(base.name)
+        start = time.perf_counter()
+        catalog = find_locations(fresh, FinderOptions(strategy=strategy))
+        best = min(best, time.perf_counter() - start)
+    return best, catalog
+
+
+def collect(designs=DESIGNS, rounds: int = N_ROUNDS) -> dict:
+    rows: List[dict] = []
+    for name in designs:
+        base = build_benchmark(name) if isinstance(name, str) else name
+        with telemetry.enabled(trace=False, metrics=True):
+            telemetry.get_registry().reset()
+            windowed_s, windowed_catalog = _time_locate(base, "windowed", rounds)
+            counters = dict(
+                telemetry.get_registry().snapshot()["counters"]
+            )
+        global_s, global_catalog = _time_locate(base, "global", rounds)
+        if catalog_fingerprint(windowed_catalog) != catalog_fingerprint(
+            global_catalog
+        ):
+            raise AssertionError(f"catalog divergence on {base.name}")
+        rows.append(
+            {
+                "design": base.name,
+                "gates": base.n_gates,
+                "inputs": len(base.inputs),
+                "outputs": len(base.outputs),
+                "locations": windowed_catalog.n_locations,
+                "windowed_seconds": windowed_s,
+                "global_seconds": global_s,
+                "speedup": global_s / windowed_s if windowed_s else float("inf"),
+                "windows_built": counters.get("odcwin.windows_built", 0),
+                "sim_refuted": counters.get("odcwin.sim_refuted", 0),
+                "const_confirmed": counters.get("odcwin.const_confirmed", 0),
+                "window_sat_confirmed": counters.get(
+                    "odcwin.window_sat_confirmed", 0
+                ),
+                "miter_discharged": counters.get("odcwin.miter_discharged", 0),
+                "catalogs_identical": True,
+            }
+        )
+    return {
+        "bench": "windowed_odc",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "rounds": rounds,
+        "gate_design": GATE_DESIGN,
+        "min_speedup": MIN_SPEEDUP,
+        "designs": rows,
+    }
+
+
+def smoke_base() -> Circuit:
+    return generate(
+        RandomLogicSpec(
+            name="odcwin-smoke", n_inputs=12, n_outputs=6, n_gates=180, seed=23
+        )
+    )
+
+
+def run_smoke() -> dict:
+    """CI-sized cross-check (no record written, no speedup gate)."""
+    return collect(designs=[smoke_base()], rounds=1)
+
+
+def test_windowed_vs_global_smoke():
+    """CI-sized differential check of windowed vs global locate."""
+    record = run_smoke()
+    assert all(row["catalogs_identical"] for row in record["designs"])
+
+
+def _print_record(record: dict) -> None:
+    for row in record["designs"]:
+        print(
+            f"{row['design']}: {row['gates']} gates, {row['locations']} locations  "
+            f"windowed {row['windowed_seconds']:.3f}s  "
+            f"global {row['global_seconds']:.3f}s  "
+            f"speedup {row['speedup']:.2f}x"
+        )
+        print(
+            f"  windows {row['windows_built']}, sim-refuted {row['sim_refuted']}, "
+            f"const-confirmed {row['const_confirmed']}, "
+            f"window-SAT {row['window_sat_confirmed']}, "
+            f"miter-discharged {row['miter_discharged']}"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI-sized cross-check; does not write the record",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        record = run_smoke()
+        _print_record(record)
+        print("smoke OK")
+        return
+    record = collect()
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {RECORD_PATH}")
+    _print_record(record)
+    gate_rows = [r for r in record["designs"] if r["design"] == GATE_DESIGN]
+    if gate_rows and gate_rows[0]["speedup"] < MIN_SPEEDUP:
+        raise SystemExit(
+            f"speedup {gate_rows[0]['speedup']:.2f}x on {GATE_DESIGN} "
+            f"below the {MIN_SPEEDUP}x gate"
+        )
+
+
+if __name__ == "__main__":
+    main()

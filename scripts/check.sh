@@ -1,11 +1,16 @@
 #!/bin/sh
-# Repo check gate: lint (when the linter is installed) + tier-1 tests.
+# Repo check gate: lint (when the linter is installed) + tier-1 tests,
+# with a line-coverage floor when pytest-cov is installed.
 #
 # Usage: scripts/check.sh [extra pytest args]
 #
-# ruff is optional — offline images may not ship it.  When absent the
-# lint step is skipped with a notice instead of failing, so the tests
-# still gate the change; run `pip install ruff` locally to enable it.
+# ruff and pytest-cov are optional — offline images may not ship them.
+# When absent the corresponding step is skipped with a notice instead of
+# failing, so the tests still gate the change; run
+# `pip install ruff pytest-cov` locally to enable both.
+#
+# COV_FLOOR (default 90) is the measured tier-1 line-coverage floor for
+# src/repro; the gate fails on regression below it.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,5 +22,12 @@ else
     echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
 fi
 
-echo "== tier-1 tests =="
-PYTHONPATH=src python -m pytest -x -q "$@"
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    echo "== tier-1 tests + coverage gate (floor ${COV_FLOOR:-90}%) =="
+    PYTHONPATH=src python -m pytest -x -q \
+        --cov=src/repro --cov-report=term --cov-report=xml \
+        --cov-fail-under="${COV_FLOOR:-90}" "$@"
+else
+    echo "== pytest-cov not installed; tier-1 tests without coverage gate =="
+    PYTHONPATH=src python -m pytest -x -q "$@"
+fi

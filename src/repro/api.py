@@ -93,6 +93,31 @@ def batch(
         return run_batch_flow(design, n_copies, opts)
 
 
+def locate(
+    design: Design,
+    opts: Optional[FlowOptions] = None,
+    **overrides: object,
+):
+    """Enumerate fingerprint locations in a design.
+
+    Runs only the location-discovery stage of the pipeline (with each
+    candidate's ODC condition validated by the
+    :class:`~repro.odcwin.WindowedOdcEngine`) and returns the
+    :class:`~repro.fingerprint.locations.LocationCatalog`.  Select the
+    validation strategy with ``opts.strategy`` (``"windowed"`` default,
+    ``"global"`` for the exhaustive baseline; verdicts are identical).
+    """
+    from .fingerprint.locations import find_locations
+
+    opts = _resolve(opts, overrides)
+    with _telemetry_scope(opts):
+        if isinstance(design, str) or isinstance(design, SopNetwork):
+            from .flows.pipeline import _to_circuit
+
+            design = _to_circuit(design, opts.map_style)
+        return find_locations(design, opts.resolved_finder())
+
+
 def verify(
     left: Circuit,
     right: Circuit,
@@ -155,6 +180,7 @@ __all__ = [
     "batch",
     "fingerprint",
     "load_circuit",
+    "locate",
     "save_circuit",
     "verify",
 ]

@@ -30,6 +30,7 @@ from ..cells import functions
 from ..ir import compile_circuit
 from ..netlist.circuit import Circuit, Gate
 from ..netlist.graph import fanout_free_cone
+from ..odcwin import STRATEGIES, WindowedOdcEngine
 from .modifications import Slot, slot_variants
 
 
@@ -41,7 +42,12 @@ class FinderOptions:
     heuristics by default and expose alternatives for ablations.
     ``allow_xor_targets`` is an extension beyond the paper (XOR gates have
     an identity element and can absorb literals even though they create no
-    ODCs); it is off by default to match the paper.
+    ODCs); it is off by default to match the paper.  ``strategy`` selects
+    the :class:`~repro.odcwin.WindowedOdcEngine` mode used to validate
+    each candidate's ODC condition before admitting the location —
+    ``"windowed"`` (local windows, constant propagation, SAT only as a
+    last resort) or ``"global"`` (full-cone resimulation plus a
+    full-circuit miter); both produce bit-identical verdicts.
     """
 
     allow_xor_targets: bool = False
@@ -51,6 +57,7 @@ class FinderOptions:
     root_choice: str = "highest_depth"  # | "lowest_depth" | "random"
     max_slots_per_location: Optional[int] = None
     seed: int = 0
+    strategy: str = "windowed"  # | "global"
 
     def __post_init__(self) -> None:
         valid_triggers = ("lowest_depth", "highest_depth", "random", "min_activity")
@@ -58,6 +65,8 @@ class FinderOptions:
             raise ValueError(f"bad trigger_choice {self.trigger_choice!r}")
         if self.root_choice not in ("highest_depth", "lowest_depth", "random"):
             raise ValueError(f"bad root_choice {self.root_choice!r}")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"bad strategy {self.strategy!r}")
 
 
 @dataclass(frozen=True)
@@ -188,6 +197,19 @@ def _find_locations(
     banned_negative_sources: set = set()
     used_targets: set = set()
     location_id = 0
+    # ODC validation engine, built on first candidate: every admitted
+    # location's (root, trigger, controlling-value) condition is proven
+    # unobservable, so embedding at it can never change the function.
+    engine: Optional[WindowedOdcEngine] = None
+
+    def validate(root: str, trigger: str, trigger_value: int) -> bool:
+        nonlocal engine
+        if engine is None:
+            engine = WindowedOdcEngine(circuit, strategy=options.strategy)
+        verdict = engine.classify(root, trigger, trigger_value)
+        if not verdict.confirmed:
+            telemetry.count("fingerprint.candidates_rejected")
+        return verdict.confirmed
 
     def effective_inverters() -> Dict[str, str]:
         index: Dict[str, str] = {}
@@ -226,6 +248,8 @@ def _find_locations(
             trigger = min(triggers, key=lambda n: (activation(n), n))
         else:
             trigger = _choose(triggers, levels, options.trigger_choice, rng)
+        if not validate(root, trigger, trigger_value):
+            continue
 
         ffc = fanout_free_cone(circuit, root)
         slots: List[Slot] = []

@@ -279,7 +279,7 @@ def run_batch_flow(
     ) as batch_span:
         try:
             design.validate()
-            catalog = find_locations(design, opts.finder)
+            catalog = find_locations(design, opts.resolved_finder())
             codec = FingerprintCodec(catalog)
             values = select_values(codec.combinations, n_copies, seed=opts.seed)
         except ReproError as exc:
@@ -288,7 +288,7 @@ def run_batch_flow(
         start = time.perf_counter()
         if opts.jobs <= 1:
             state = _build_state(
-                design, opts.finder, opts.ladder, opts.measure_overheads
+                design, opts.resolved_finder(), opts.ladder, opts.measure_overheads
             )
             records = [_verify_one(state, value) for value in values]
         else:
@@ -302,7 +302,7 @@ def run_batch_flow(
                 initializer=_init_worker,
                 initargs=(
                     payload,
-                    opts.finder,
+                    opts.resolved_finder(),
                     opts.ladder,
                     opts.measure_overheads,
                     flags,

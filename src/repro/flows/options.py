@@ -14,6 +14,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional
 
 from ..fingerprint.locations import FinderOptions
+from ..odcwin import STRATEGIES
 from .ladder import LadderConfig
 
 
@@ -37,6 +38,8 @@ class FlowOptions:
             ``batch``.
         trace: Enable span tracing for the duration of the call.
         metrics: Enable metrics collection for the duration of the call.
+        strategy: ODC-engine strategy override (``"windowed"`` or
+            ``"global"``); ``None`` keeps whatever ``finder`` specifies.
     """
 
     finder: Optional[FinderOptions] = None
@@ -50,6 +53,16 @@ class FlowOptions:
     measure_overheads: bool = False
     trace: bool = False
     metrics: bool = False
+    strategy: Optional[str] = None
+
+    def resolved_finder(self) -> FinderOptions:
+        """The effective finder options with the strategy override applied."""
+        finder = self.finder or FinderOptions()
+        if self.strategy is not None and self.strategy != finder.strategy:
+            from dataclasses import replace
+
+            finder = replace(finder, strategy=self.strategy)
+        return finder
 
     def __init__(self, **options: Any) -> None:
         known = {f.name: f for f in fields(self)}
@@ -61,6 +74,10 @@ class FlowOptions:
             )
         for name, spec in known.items():
             object.__setattr__(self, name, options.get(name, spec.default))
+        if self.strategy is not None and self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"bad strategy {self.strategy!r} (valid: {', '.join(STRATEGIES)})"
+            )
 
     def replace(self, **changes: Any) -> "FlowOptions":
         """A copy with ``changes`` applied (same validation as ``__init__``)."""

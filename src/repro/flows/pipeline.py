@@ -127,7 +127,9 @@ def run_flow(
         base = _to_circuit(design, opts.map_style)
         flow_span.set(design=base.name, gates=base.n_gates)
         _staged("validate", base.name, base.validate)
-        catalog = _staged("locate", base.name, find_locations, base, opts.finder)
+        catalog = _staged(
+            "locate", base.name, find_locations, base, opts.resolved_finder()
+        )
         report = _staged("capacity", base.name, capacity, catalog)
         codec = FingerprintCodec(catalog)
         chosen = (

@@ -304,6 +304,18 @@ class CompiledCircuit:
         return values
 
 
+def _compile(circuit: Circuit) -> CompiledCircuit:
+    from .. import telemetry
+
+    telemetry.count("ir.compile")
+    return CompiledCircuit(circuit)
+
+
 def compile_circuit(circuit: Circuit) -> CompiledCircuit:
-    """The circuit's :class:`CompiledCircuit`, cached on its version."""
-    return circuit.cached("compiled_ir", lambda: CompiledCircuit(circuit))
+    """The circuit's :class:`CompiledCircuit`, cached on its version.
+
+    Cache hits are free; actual (re)compilations bump the ``ir.compile``
+    metrics counter, so tests can assert how often a flow really pays
+    for compilation.
+    """
+    return circuit.cached("compiled_ir", lambda: _compile(circuit))

@@ -14,9 +14,11 @@ For standard controlling-value gates the local ODC w.r.t. input ``x`` is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 from ..cells import functions
+from ..ir import compile_circuit
 from ..netlist.circuit import Circuit, Gate
 from .truthtable import TruthTable
 
@@ -102,17 +104,32 @@ def gate_creates_odc(gate: Gate) -> bool:
     return functions.has_odc(gate.kind, gate.n_inputs)
 
 
+@lru_cache(maxsize=None)
+def _odc_positions(kind: str, n_inputs: int) -> Tuple[int, ...]:
+    """Input positions of ``kind`` with non-empty local ODC sets.
+
+    The answer depends only on the (kind, arity) pair — never on the
+    instance — so the truth-table work is paid once per distinct cell
+    shape across the whole process, not once per gate.
+    """
+    return tuple(
+        p for p in range(n_inputs) if has_nonzero_odc(kind, n_inputs, p)
+    )
+
+
 def odc_summary(circuit: Circuit) -> Dict[str, List[int]]:
-    """Map gate name -> input positions with non-empty local ODC sets."""
+    """Map gate name -> input positions with non-empty local ODC sets.
+
+    Iterates the compiled IR's topological gate order (one shared,
+    version-cached compilation — not a fresh traversal per gate) and
+    memoizes the per-(kind, arity) truth-table analysis, so a summary
+    costs O(gates) dictionary work after the first call.
+    """
     summary: Dict[str, List[int]] = {}
-    for gate in circuit.gates:
-        positions = [
-            p
-            for p in range(gate.n_inputs)
-            if has_nonzero_odc(gate.kind, gate.n_inputs, p)
-        ]
+    for gate in compile_circuit(circuit).gates_in_order():
+        positions = _odc_positions(gate.kind, gate.n_inputs)
         if positions:
-            summary[gate.name] = positions
+            summary[gate.name] = list(positions)
     return summary
 
 

@@ -1,0 +1,34 @@
+"""Windowed, simulation-guided ODC classification (see ARCHITECTURE.md).
+
+Public surface:
+
+* :class:`WindowConfig` / :class:`Window` / :func:`extract_window` —
+  local TFO-window extraction over the compiled CSR adjacency.
+* :class:`WindowedOdcEngine` — per-circuit candidate classifier with
+  ``"windowed"`` and ``"global"`` strategies that agree bit-for-bit.
+* :class:`OdcVerdict` / :class:`OdcStatus` / :class:`EngineStats` —
+  result and accounting types.
+* :func:`verify_witness` — simulation check of a REFUTED witness.
+"""
+
+from .engine import (
+    STRATEGIES,
+    EngineStats,
+    OdcStatus,
+    OdcVerdict,
+    WindowedOdcEngine,
+    verify_witness,
+)
+from .window import Window, WindowConfig, extract_window
+
+__all__ = [
+    "STRATEGIES",
+    "EngineStats",
+    "OdcStatus",
+    "OdcVerdict",
+    "Window",
+    "WindowConfig",
+    "WindowedOdcEngine",
+    "extract_window",
+    "verify_witness",
+]

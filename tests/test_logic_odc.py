@@ -104,3 +104,22 @@ class TestSummaries:
         assert table["NAND2"] and table["NOR3"] and table["AND4"] and table["OR2"]
         assert not table["XOR2"] and not table["XNOR2"]
         assert not table["INV"] and not table["BUF"]
+
+
+class TestSummaryCompilationCost:
+    def test_one_compile_per_summary_call(self, fig1_circuit):
+        """odc_summary must reuse the version-cached IR, not re-derive
+        topological structure per gate (ISSUE 5 satellite fix)."""
+        from repro import telemetry
+
+        circuit = fig1_circuit.clone("compile_count")
+        with telemetry.enabled(trace=False, metrics=True):
+            telemetry.get_registry().reset()
+            odc_summary(circuit)
+            first = telemetry.get_registry().snapshot()["counters"]
+            assert first.get("ir.compile", 0) == 1
+            odc_summary(circuit)
+            odc_summary(circuit)
+            again = telemetry.get_registry().snapshot()["counters"]
+            # Repeat calls on an unmodified circuit are pure cache hits.
+            assert again.get("ir.compile", 0) == 1

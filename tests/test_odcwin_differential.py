@@ -1,0 +1,286 @@
+"""Differential harness: windowed vs global ODC engines must agree.
+
+The windowed engine is only admissible because it is *bit-identical in
+verdicts* to the global engine (ISSUE 5).  This suite enforces that on
+three axes:
+
+* location catalogs on the bundled c17 netlist and random mapped
+  circuits, plus faultinject-mutated variants (tier-1);
+* per-candidate verdicts on randomly sampled ``(net, condition, value)``
+  triples, with every REFUTED witness re-checked by direct simulation
+  and zero UNKNOWN verdicts tolerated (tier-1);
+* the full synthetic benchmark suite and a 200-circuit random/mutated
+  population (``-m differential``, run in its own CI job).
+
+On any divergence the failing circuit is shrunk by greedy gate removal
+to a minimal witness and printed as BLIF, so the counterexample can be
+replayed directly.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import RandomLogicSpec, generate
+from repro.bench.data import data_path
+from repro.bench.suite import SUITE_ORDER, build_benchmark
+from repro.faultinject import GateKindSwap, StuckAtNet
+from repro.fingerprint import FinderOptions, find_locations
+from repro.netlist import read_blif, write_blif
+from repro.netlist.circuit import NetlistError
+from repro.odcwin import (
+    OdcStatus,
+    WindowConfig,
+    WindowedOdcEngine,
+    extract_window,
+    verify_witness,
+)
+from repro.techmap import map_network
+
+
+def small_circuit(seed, n_gates=60, n_inputs=8, n_outputs=3):
+    return generate(
+        RandomLogicSpec(
+            name=f"diff{seed}",
+            n_inputs=n_inputs,
+            n_outputs=n_outputs,
+            n_gates=n_gates,
+            seed=seed,
+        )
+    )
+
+
+def catalog_fingerprint(catalog):
+    """Canonical, comparison-friendly view of a location catalog."""
+    return [
+        (
+            loc.primary,
+            loc.ffc_root,
+            loc.trigger,
+            loc.trigger_value,
+            tuple(s.target for s in loc.slots),
+        )
+        for loc in catalog
+    ]
+
+
+def _still_diverges(circuit, options_by_strategy):
+    try:
+        circuit.validate()
+        catalogs = [
+            catalog_fingerprint(find_locations(circuit, opts))
+            for opts in options_by_strategy
+        ]
+    except Exception:
+        return False  # shrink step broke the circuit; reject it
+    return catalogs[0] != catalogs[1]
+
+
+def minimize_divergence(circuit, options_by_strategy):
+    """Greedy gate-removal shrink of a catalog-divergence witness.
+
+    Repeatedly tries to delete one gate (rewiring is not attempted — a
+    deletion that breaks validity is simply rejected) while the two
+    strategies still disagree; returns the smallest circuit found.
+    """
+    current = circuit
+    shrunk = True
+    while shrunk:
+        shrunk = False
+        for gate in sorted(current.gates, key=lambda g: g.name, reverse=True):
+            trial = current.clone(current.name)
+            try:
+                trial.remove_gate(gate.name)
+            except (NetlistError, KeyError, ValueError):
+                continue
+            if _still_diverges(trial, options_by_strategy):
+                current = trial
+                shrunk = True
+                break
+    return current
+
+
+def assert_identical_catalogs(circuit, seed_note=""):
+    """The differential oracle: windowed and global catalogs must match."""
+    opts = (FinderOptions(strategy="windowed"), FinderOptions(strategy="global"))
+    windowed = catalog_fingerprint(find_locations(circuit, opts[0]))
+    global_ = catalog_fingerprint(find_locations(circuit, opts[1]))
+    if windowed != global_:
+        witness = minimize_divergence(circuit, opts)
+        pytest.fail(
+            f"windowed/global catalog divergence on {circuit.name} {seed_note}\n"
+            f"windowed: {windowed}\nglobal:   {global_}\n"
+            f"minimized witness circuit ({witness.n_gates} gates):\n"
+            f"{write_blif(witness)}"
+        )
+
+
+def assert_identical_verdicts(circuit, n_samples=40, seed=0):
+    """Per-candidate differential: same statuses, validated witnesses."""
+    ew = WindowedOdcEngine(circuit, strategy="windowed")
+    eg = WindowedOdcEngine(circuit, strategy="global")
+    rng = random.Random(seed)
+    nets = [g.name for g in circuit.gates]
+    conditions = nets + list(circuit.inputs)
+    for _ in range(n_samples):
+        net = rng.choice(nets)
+        if rng.random() < 0.25:
+            cond, value = None, 1
+        else:
+            cond = rng.choice(conditions)
+            if cond == net:
+                cond = None
+            value = rng.randrange(2)
+        vw = ew.classify(net, cond, value)
+        vg = eg.classify(net, cond, value)
+        assert vw.status is not OdcStatus.UNKNOWN, (circuit.name, net, cond, value)
+        assert vg.status is not OdcStatus.UNKNOWN, (circuit.name, net, cond, value)
+        assert vw.status == vg.status, (
+            f"verdict divergence on {circuit.name}: net={net} cond={cond}=={value} "
+            f"windowed={vw.status}/{vw.method} global={vg.status}/{vg.method}"
+        )
+        if vw.refuted:
+            assert verify_witness(circuit, vw), (circuit.name, net, cond, value)
+        if vg.refuted:
+            assert verify_witness(circuit, vg), (circuit.name, net, cond, value)
+    assert ew.stats.unknown == 0 and eg.stats.unknown == 0
+
+
+def mutated_variants(base, n_variants, seed):
+    """Functionally mutated (still valid) clones of ``base``."""
+    rng = random.Random(seed)
+    mutators = [GateKindSwap(), StuckAtNet()]
+    variants = []
+    for index in range(n_variants):
+        mutant = base.clone(f"{base.name}_m{index}")
+        try:
+            rng.choice(mutators).apply(mutant, rng)
+            mutant.validate()
+        except Exception:
+            continue  # mutation landed somewhere unusable; skip it
+        variants.append(mutant)
+    return variants
+
+
+class TestBundledC17:
+    @pytest.fixture(scope="class")
+    def c17(self):
+        return map_network(read_blif(data_path("c17.blif")))
+
+    def test_catalogs_identical(self, c17):
+        assert_identical_catalogs(c17)
+
+    def test_verdicts_identical(self, c17):
+        assert_identical_verdicts(c17, n_samples=60)
+
+    def test_mutated_variants(self, c17):
+        for mutant in mutated_variants(c17, 6, seed=5):
+            assert_identical_catalogs(mutant, "(c17 mutant)")
+
+
+class TestRandomCircuits:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_catalogs_identical(self, seed):
+        assert_identical_catalogs(small_circuit(seed), f"(seed {seed})")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_verdicts_identical(self, seed):
+        assert_identical_verdicts(small_circuit(seed + 100), seed=seed)
+
+    def test_mutated_variants(self):
+        base = small_circuit(7)
+        for mutant in mutated_variants(base, 4, seed=7):
+            assert_identical_catalogs(mutant, "(random mutant)")
+
+
+class TestWindowInvariants:
+    """Structural guarantees the engine's soundness argument rests on."""
+
+    def test_members_topological_and_fanin_closed(self):
+        from repro.ir import compile_circuit
+
+        circuit = small_circuit(3, n_gates=120)
+        compiled = compile_circuit(circuit)
+        config = WindowConfig(max_levels=3, max_gates=10)
+        for gate in circuit.gates:
+            seed_id = compiled.id_of(gate.name)
+            window = extract_window(compiled, seed_id, config)
+            ids = [int(i) for i in window.gate_ids]
+            assert ids == sorted(ids)
+            assert len(ids) <= config.max_gates
+            members = set(ids)
+            # Fanin-closure within the cone: any member's fanin that is
+            # itself in the seed's fanout cone must also be a member —
+            # otherwise side inputs could carry the flip into the window
+            # unseen and the confirm tiers would be unsound.
+            cone = set(int(g) for g in compiled.fanout_cone(gate.name))
+            for gid in ids:
+                for fid in compiled.fanin_row(gid):
+                    fid = int(fid)
+                    if fid in cone and fid != seed_id:
+                        assert fid in members, (gate.name, gid, fid)
+
+    def test_boundary_bookkeeping(self):
+        from repro.ir import compile_circuit
+
+        circuit = small_circuit(11, n_gates=120)
+        compiled = compile_circuit(circuit)
+        po_ids = set(int(i) for i in compiled.output_ids)
+        config = WindowConfig(max_levels=2, max_gates=6)
+        for gate in circuit.gates:
+            seed_id = compiled.id_of(gate.name)
+            window = extract_window(compiled, seed_id, config)
+            members = set(int(i) for i in window.gate_ids)
+            outputs = set(int(i) for i in window.output_ids)
+            for gid in members:
+                escapes = any(
+                    int(f) not in members for f in compiled.fanout_row(gid)
+                )
+                assert ((gid in po_ids) or escapes) == (gid in outputs)
+            assert set(int(i) for i in window.po_ids) == members & po_ids
+            assert window.seed_is_po == (seed_id in po_ids)
+
+    def test_truncated_windows_still_agree(self):
+        """Tiny windows force the SAT fallback; verdicts must not change."""
+        circuit = small_circuit(13, n_gates=80)
+        tight = WindowedOdcEngine(
+            circuit, strategy="windowed",
+            config=WindowConfig(max_levels=1, max_gates=2),
+        )
+        wide = WindowedOdcEngine(circuit, strategy="global")
+        rng = random.Random(13)
+        nets = [g.name for g in circuit.gates]
+        for _ in range(25):
+            net = rng.choice(nets)
+            vt = tight.classify(net)
+            vg = wide.classify(net)
+            assert vt.status == vg.status, (net, vt.method, vg.method)
+
+
+@pytest.mark.differential
+class TestBenchmarkSuite:
+    """Full catalog differential over every bundled synthetic benchmark."""
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_catalogs_identical(self, name):
+        assert_identical_catalogs(build_benchmark(name), f"(benchmark {name})")
+
+    @pytest.mark.parametrize("name", ["k2", "t481"])
+    def test_verdicts_identical(self, name):
+        assert_identical_verdicts(build_benchmark(name), n_samples=15, seed=1)
+
+
+@pytest.mark.differential
+class TestRandomPopulation:
+    """≥200 randomized/mutated circuits, zero undischarged unknowns."""
+
+    @pytest.mark.parametrize("seed", range(150))
+    def test_random_circuit(self, seed):
+        circuit = small_circuit(seed + 1000, n_gates=40 + (seed % 5) * 15)
+        assert_identical_catalogs(circuit, f"(population seed {seed})")
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_mutated_circuit(self, seed):
+        base = small_circuit(seed + 5000, n_gates=50)
+        for mutant in mutated_variants(base, 1, seed=seed):
+            assert_identical_catalogs(mutant, f"(mutant seed {seed})")

@@ -224,3 +224,69 @@ class TestExtensionInvariants:
         base = small_circuit(seed, n_gates=45)
         back = aig_to_circuit(circuit_to_aig(base), base.name)
         assert exhaustive_equivalent(base, back).equivalent
+
+
+class TestWindowedOdcInvariants:
+    """ISSUE 5: engine verdicts must predict embedding and CEC behaviour."""
+
+    @given(seeds)
+    @SETTINGS
+    def test_confirmed_locations_survive_the_ladder(self, seed):
+        """Every windowed-validated location embeds to a proven equivalent.
+
+        ``find_locations`` only admits a location after the windowed
+        engine CONFIRMS its (root, trigger, controlling-value) ODC
+        condition, so the full embedding must pass the verification
+        ladder with a definitive verdict.
+        """
+        from repro.fingerprint import FinderOptions
+        from repro.flows.ladder import run_ladder
+
+        base = small_circuit(seed, n_gates=50)
+        catalog = find_locations(base, FinderOptions(strategy="windowed"))
+        if not catalog.n_locations:
+            return
+        copy = embed(base, catalog, full_assignment(base, catalog))
+        report = run_ladder(base, copy.circuit)
+        assert report.equivalent and report.proven, report.reason
+
+    @given(seeds)
+    @SETTINGS
+    def test_verdicts_predict_cec_outcome(self, seed):
+        """CONFIRMED nets tolerate inversion; REFUTED witnesses break CEC.
+
+        Complementing a gate's kind (AND->NAND, ...) flips its net for
+        every input vector, so the mutant is equivalent to the base
+        exactly when the net is unconditionally unobservable — the
+        engine's CONFIRMED verdict.  For REFUTED verdicts the engine's
+        witness vector must itself be a CEC counterexample.
+        """
+        import random as _random
+
+        from repro.flows.ladder import run_ladder
+        from repro.odcwin import OdcStatus, WindowedOdcEngine
+        from repro.sim import Simulator
+
+        complement = {
+            "AND": "NAND", "NAND": "AND", "OR": "NOR", "NOR": "OR",
+            "XOR": "XNOR", "XNOR": "XOR", "INV": "BUF", "BUF": "INV",
+        }
+        base = small_circuit(seed, n_gates=45)
+        engine = WindowedOdcEngine(base, strategy="windowed")
+        rng = _random.Random(seed)
+        gates = [g for g in base.gates if g.kind in complement]
+        for gate in rng.sample(gates, min(4, len(gates))):
+            verdict = engine.classify(gate.name)
+            assert verdict.status is not OdcStatus.UNKNOWN
+            mutant = base.clone(f"{base.name}_flip_{gate.name}")
+            mutant.replace_gate(gate.name, complement[gate.kind], list(gate.inputs))
+            report = run_ladder(base, mutant)
+            assert report.equivalent == verdict.confirmed, (
+                gate.name, verdict.method, report.reason
+            )
+            if verdict.refuted:
+                golden = Simulator(base).run_single(verdict.witness)
+                flipped = Simulator(mutant).run_single(verdict.witness)
+                assert any(
+                    golden[o] != flipped[o] for o in base.outputs
+                ), f"witness for {gate.name} is not a counterexample"
