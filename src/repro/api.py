@@ -157,6 +157,84 @@ def load_circuit(path: str, map_style: str = "aoi") -> Circuit:
     )
 
 
+def campaign(
+    designs,
+    db_path: str,
+    *,
+    kind: str = "fingerprint",
+    n_copies: int = 8,
+    trials: int = 1,
+    injectors=None,
+    seed: int = 0,
+    options=None,
+):
+    """Run (or continue) a persistent, resumable campaign.
+
+    Where :func:`batch` answers "verify N copies right now",
+    ``campaign`` answers "run this fleet of jobs against a SQLite result
+    database, survive crashes, and let me resume later":  the spec
+    expands deterministically into content-addressed job rows, only
+    non-terminal rows execute, and re-running a finished campaign is a
+    no-op.  See :mod:`repro.campaign` for the engine.
+
+    ``designs`` is one design or a sequence; each entry is a file path
+    (``.blif`` / ``.v``), a ``bench:<name>`` suite circuit, or an
+    in-memory :class:`Circuit` (serialized into the DB, so resumes in a
+    fresh process can reload it).  ``options`` is a
+    :class:`repro.campaign.CampaignOptions` (workers, timeouts, retry
+    budget, overwrite policy).  Returns a
+    :class:`repro.campaign.CampaignSummary`.
+    """
+    from .campaign import CampaignSpec, run_campaign
+
+    if isinstance(designs, (Circuit, str)):
+        designs = [designs]
+    sources = []
+    inline: Dict[str, Circuit] = {}
+    for design in designs:
+        if isinstance(design, Circuit):
+            inline[design.name] = design
+            sources.append(f"db:{design.name}")
+        else:
+            sources.append(design)
+    spec = CampaignSpec(
+        kind=kind,
+        designs=tuple(sources),
+        n_copies=n_copies,
+        trials=trials,
+        injectors=None if injectors is None else tuple(injectors),
+        seed=seed,
+    )
+    return run_campaign(spec, db_path, options, inline_designs=inline)
+
+
+def campaign_resume(db_path: str, options=None):
+    """Continue a campaign from the spec stored in its database."""
+    from .campaign import resume_campaign
+
+    return resume_campaign(db_path, options)
+
+
+def campaign_status(db_path: str) -> Dict[str, object]:
+    """Read-only progress snapshot of a campaign DB (safe mid-run)."""
+    from .campaign import campaign_status as _status
+
+    return _status(db_path)
+
+
+def campaign_report(db_path: str, out_dir: Optional[str] = None) -> Dict[str, object]:
+    """Aggregate a campaign DB into the JSON fleet report.
+
+    When ``out_dir`` is given, also writes ``report.json`` and
+    ``report.html`` there.
+    """
+    from .campaign import build_report, write_report
+
+    if out_dir is not None:
+        write_report(db_path, out_dir)
+    return build_report(db_path)
+
+
 def save_circuit(circuit: Circuit, path: str) -> None:
     """Write a circuit by extension (``.v`` structural Verilog, ``.blif``)."""
     if path.endswith(".v"):
@@ -178,6 +256,10 @@ __all__ = [
     "LadderConfig",
     "LadderResult",
     "batch",
+    "campaign",
+    "campaign_report",
+    "campaign_resume",
+    "campaign_status",
     "fingerprint",
     "load_circuit",
     "locate",

@@ -1,0 +1,67 @@
+"""Persistent campaign engine: SQLite-backed job store with resume & retry.
+
+The in-memory flows (:mod:`repro.flows.batch`, :mod:`repro.faultinject`)
+answer "run this now and give me the result"; this package answers "run
+this fleet of jobs over hours, survive crashes, and let me come back".
+A declarative :class:`CampaignSpec` expands deterministically into
+content-addressed job rows inside a SQLite database
+(:class:`~repro.campaign.store.JobStore`); the scheduler
+(:func:`run_campaign`) executes whatever is still pending with per-job
+timeouts, bounded retries, and crash quarantine; and the reporter
+(:func:`build_report`) aggregates the DB into JSON/HTML fleet reports.
+
+Both front-ends stay bit-compatible: campaign jobs call the same
+per-unit functions (:func:`repro.flows.batch.verify_one_value`,
+:func:`repro.faultinject.run_one_injection` / ``run_one_corruption``)
+the one-shot flows use, so persisting a sweep never changes its verdicts.
+"""
+
+from .report import build_report, render_html, write_report
+from .scheduler import (
+    CampaignOptions,
+    CampaignSummary,
+    GracefulStop,
+    campaign_status,
+    resume_campaign,
+    run_campaign,
+)
+from .spec import (
+    JOB_KINDS,
+    OVERWRITE_POLICIES,
+    CampaignError,
+    CampaignSpec,
+    Job,
+    expand_jobs,
+    job_id_for,
+    resolve_design,
+    resolve_designs,
+)
+from .store import SCHEMA_VERSION, TERMINAL_STATES, JobRow, JobStore
+from .timeouts import JobTimeoutError, run_with_timeout
+
+__all__ = [
+    "CampaignError",
+    "CampaignOptions",
+    "CampaignSpec",
+    "CampaignSummary",
+    "GracefulStop",
+    "JOB_KINDS",
+    "Job",
+    "JobRow",
+    "JobStore",
+    "JobTimeoutError",
+    "OVERWRITE_POLICIES",
+    "SCHEMA_VERSION",
+    "TERMINAL_STATES",
+    "build_report",
+    "campaign_status",
+    "expand_jobs",
+    "job_id_for",
+    "render_html",
+    "resolve_design",
+    "resolve_designs",
+    "resume_campaign",
+    "run_campaign",
+    "run_with_timeout",
+    "write_report",
+]

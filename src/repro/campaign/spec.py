@@ -1,0 +1,278 @@
+"""Declarative campaign specifications and their deterministic expansion.
+
+A :class:`CampaignSpec` names *what* to run — designs × job kind ×
+parameter grid × seed — and nothing about *how* (worker counts, timeouts,
+retry budgets live in :class:`~repro.campaign.scheduler.CampaignOptions`).
+That split is what makes resume sound: the spec is stored inside the
+result database, expansion is a pure function of the spec, and every
+expanded job carries a content-derived :attr:`Job.job_id`, so re-running
+the same spec against the same DB re-derives exactly the same job rows
+and executes only the ones not yet in a terminal state.
+
+Job kinds:
+
+``fingerprint``
+    One job per issued copy: embed fingerprint value ``v`` and verify the
+    copy through the budgeted ladder (the
+    :mod:`repro.flows.batch` worker loop, made persistent).
+``inject``
+    One job per (netlist mutator, trial): clone the design, inject the
+    fault, push the mutant through the full pipeline and classify the
+    outcome (the :mod:`repro.faultinject` campaign, made persistent).
+``inject-text``
+    One job per (text corruptor, trial) over the design's serialized
+    Verilog.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..netlist.circuit import Circuit
+
+#: Supported job kinds, in display order.
+JOB_KINDS: Tuple[str, ...] = ("fingerprint", "inject", "inject-text")
+
+#: ``--overwrite`` policies accepted by the scheduler / store.
+OVERWRITE_POLICIES: Tuple[str, ...] = ("none", "failed", "all")
+
+
+class CampaignError(ReproError, ValueError):
+    """Raised for malformed specs, DB mismatches, and scheduler misuse."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One expanded unit of campaign work.
+
+    ``job_id`` is a content hash of the job's coordinates (kind, design,
+    canonical params, spec seed) — never of execution state — so the same
+    spec always expands to the same ids and a result DB can be joined
+    against a re-expansion from scratch.
+    """
+
+    job_id: str
+    design: str
+    kind: str
+    params: Dict[str, Any]
+    seed: str  # derived seed key (repro.seeds.derive_seed)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What a campaign runs; serialized verbatim into the result DB.
+
+    Attributes:
+        kind: Job kind (one of :data:`JOB_KINDS`).
+        designs: Design sources — file paths (``.v`` / ``.blif``),
+            ``bench:<name>`` suite circuits, or ``db:<name>`` for designs
+            serialized into the result DB by the API facade.
+        n_copies: ``fingerprint`` kind — distinct copies per design.
+        trials: ``inject`` kinds — trials per (design, injector).
+        injectors: ``inject`` kinds — injector names to run (``None``
+            means every registered mutator/corruptor).
+        seed: Campaign base seed; every job derives its own stream from
+            it via :func:`repro.seeds.derive_seed`.
+    """
+
+    kind: str = "fingerprint"
+    designs: Tuple[str, ...] = ()
+    n_copies: int = 8
+    trials: int = 1
+    injectors: Optional[Tuple[str, ...]] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise CampaignError(
+                f"unknown job kind {self.kind!r} (valid: {', '.join(JOB_KINDS)})",
+                stage="campaign",
+            )
+        if not self.designs:
+            raise CampaignError("a campaign needs at least one design",
+                                stage="campaign")
+        object.__setattr__(self, "designs", tuple(self.designs))
+        if self.injectors is not None:
+            object.__setattr__(self, "injectors", tuple(self.injectors))
+        if self.kind == "fingerprint" and self.n_copies <= 0:
+            raise CampaignError("n_copies must be positive", stage="campaign")
+        if self.kind != "fingerprint" and self.trials <= 0:
+            raise CampaignError("trials must be positive", stage="campaign")
+
+    def to_json(self) -> str:
+        """Canonical JSON form (stored in the DB, compared on resume)."""
+        payload = {
+            "kind": self.kind,
+            "designs": list(self.designs),
+            "n_copies": self.n_copies,
+            "trials": self.trials,
+            "injectors": None if self.injectors is None else list(self.injectors),
+            "seed": self.seed,
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"corrupt campaign spec in DB: {exc}",
+                                stage="campaign") from exc
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise CampaignError(
+                f"campaign spec has unknown field(s) {', '.join(unknown)} — "
+                "written by a newer version?", stage="campaign",
+            )
+        payload["designs"] = tuple(payload.get("designs", ()))
+        if payload.get("injectors") is not None:
+            payload["injectors"] = tuple(payload["injectors"])
+        return cls(**payload)
+
+
+def job_id_for(kind: str, design: str, params: Mapping[str, Any], seed: int) -> str:
+    """Stable 16-hex-char id for one job coordinate."""
+    key = "|".join(
+        (kind, design, json.dumps(dict(params), sort_keys=True), str(seed))
+    )
+    return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+
+def resolve_design(source: str, db_verilog: Optional[Mapping[str, str]] = None) -> Circuit:
+    """Load one design source (``bench:``, ``db:``, or a file path)."""
+    if source.startswith("bench:"):
+        from ..bench import build_benchmark
+
+        try:
+            return build_benchmark(source[len("bench:"):])
+        except KeyError as exc:
+            raise CampaignError(f"unknown bench design {source!r}",
+                                stage="campaign") from exc
+    if source.startswith("db:"):
+        name = source[len("db:"):]
+        text = (db_verilog or {}).get(name)
+        if text is None:
+            raise CampaignError(
+                f"design {source!r} is not stored in the campaign DB",
+                stage="campaign",
+            )
+        from ..netlist.verilog import parse_verilog
+
+        return parse_verilog(text)
+    from ..api import load_circuit
+
+    return load_circuit(source)
+
+
+@dataclass(frozen=True)
+class ResolvedDesign:
+    """One loaded spec design together with the source it came from."""
+
+    source: str
+    circuit: Circuit
+
+
+def resolve_designs(
+    spec: CampaignSpec, db_verilog: Optional[Mapping[str, str]] = None
+) -> "Dict[str, ResolvedDesign]":
+    """Load every spec design, keyed by circuit name (insertion-ordered).
+
+    Raises :class:`CampaignError` when two sources collapse onto the same
+    circuit name — job rows are keyed by design name, so a collision
+    would silently merge two different designs' campaigns.
+    """
+    designs: Dict[str, ResolvedDesign] = {}
+    for source in spec.designs:
+        circuit = resolve_design(source, db_verilog)
+        circuit.validate()
+        if circuit.name in designs:
+            raise CampaignError(
+                f"design name {circuit.name!r} appears twice "
+                f"({designs[circuit.name].source!r} and {source!r})",
+                stage="campaign", design=circuit.name,
+            )
+        designs[circuit.name] = ResolvedDesign(source, circuit)
+    return designs
+
+
+def expand_jobs(
+    spec: CampaignSpec, designs: Mapping[str, Circuit]
+) -> List[Job]:
+    """Expand a spec into its job rows — a pure, order-stable function.
+
+    ``fingerprint`` expansion needs each design's location catalog to
+    know the fingerprint space (the value selection of
+    :func:`repro.flows.batch.select_values` is reused verbatim, so a
+    campaign issues exactly the values a one-shot batch would).
+    """
+    from ..seeds import derive_seed
+
+    jobs: List[Job] = []
+    if spec.kind == "fingerprint":
+        from ..fingerprint.capacity import FingerprintCodec
+        from ..fingerprint.locations import find_locations
+        from ..flows.batch import select_values
+
+        for name, circuit in designs.items():
+            codec = FingerprintCodec(find_locations(circuit))
+            values = select_values(codec.combinations, spec.n_copies, spec.seed)
+            for value in values:
+                params = {"value": value}
+                jobs.append(Job(
+                    job_id=job_id_for(spec.kind, name, params, spec.seed),
+                    design=name,
+                    kind=spec.kind,
+                    params=params,
+                    seed=derive_seed(spec.seed, name, "fingerprint", value),
+                ))
+        return jobs
+
+    injector_names = _injector_names(spec)
+    for name in designs:
+        for injector in injector_names:
+            for trial in range(spec.trials):
+                params = {"injector": injector, "trial": trial}
+                jobs.append(Job(
+                    job_id=job_id_for(spec.kind, name, params, spec.seed),
+                    design=name,
+                    kind=spec.kind,
+                    params=params,
+                    seed=derive_seed(spec.seed, name, injector, trial),
+                ))
+    return jobs
+
+
+def _injector_names(spec: CampaignSpec) -> Sequence[str]:
+    """The injector grid for the spec's kind, validated against the registry."""
+    from ..faultinject import ALL_CORRUPTORS, ALL_MUTATORS
+
+    registry = ALL_MUTATORS if spec.kind == "inject" else ALL_CORRUPTORS
+    known = [injector.name for injector in registry]
+    if spec.injectors is None:
+        return known
+    unknown = sorted(set(spec.injectors) - set(known))
+    if unknown:
+        raise CampaignError(
+            f"unknown injector(s) for kind {spec.kind!r}: {', '.join(unknown)} "
+            f"(valid: {', '.join(known)})", stage="campaign",
+        )
+    return list(spec.injectors)
+
+
+__all__ = [
+    "CampaignError",
+    "CampaignSpec",
+    "JOB_KINDS",
+    "Job",
+    "OVERWRITE_POLICIES",
+    "ResolvedDesign",
+    "expand_jobs",
+    "job_id_for",
+    "resolve_design",
+    "resolve_designs",
+]

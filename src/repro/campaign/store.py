@@ -1,0 +1,422 @@
+"""SQLite-backed campaign result store (stdlib ``sqlite3``, WAL mode).
+
+One database file holds everything a campaign accumulates — the spec it
+was expanded from, the serialized designs it ran over, every job row with
+its verdict, and an append-only event ledger of retries, timeouts, and
+worker crashes.  The schema is versioned (:data:`SCHEMA_VERSION`); opening
+a DB written by a different schema fails loudly instead of misreading it.
+
+Concurrency model: only the scheduler process writes (workers hand results
+back through the process pool), so there is exactly one writer.  WAL mode
+still matters — it makes ``campaign status`` / ``campaign report`` from a
+second process safe while a run is in flight, and it keeps the main DB
+file consistent if the scheduler is SIGKILLed mid-transaction, which is
+precisely the crash-resume scenario this engine exists for.
+
+Job lifecycle::
+
+    pending ──run──> running ──ok────────────────> done
+                        │ typed error, retries left ──> pending (retry)
+                        │ typed error, exhausted ─────> failed
+                        │ timeout/crash, < quarantine ─> pending (retry)
+                        └ timeout/crash, quarantined ──> faulty
+
+``done`` / ``failed`` / ``faulty`` are terminal; ``running`` rows found
+when a DB is reopened belonged to a killed scheduler and are swept back
+to ``pending`` (their attempt counters survive).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .spec import OVERWRITE_POLICIES, CampaignError, CampaignSpec, Job
+
+SCHEMA_VERSION = 1
+
+#: Job states a finished campaign leaves behind.
+TERMINAL_STATES: Tuple[str, ...] = ("done", "failed", "faulty")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS designs (
+    name    TEXT PRIMARY KEY,
+    source  TEXT NOT NULL,
+    verilog TEXT
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id     TEXT PRIMARY KEY,
+    design     TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    params     TEXT NOT NULL,
+    seed       TEXT NOT NULL,
+    status     TEXT NOT NULL DEFAULT 'pending',
+    attempts   INTEGER NOT NULL DEFAULT 0,
+    crashes    INTEGER NOT NULL DEFAULT 0,
+    verdict    TEXT,
+    error      TEXT,
+    error_type TEXT,
+    seconds    REAL,
+    worker     INTEGER,
+    updated_at REAL
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
+CREATE INDEX IF NOT EXISTS idx_jobs_design ON jobs(design);
+CREATE TABLE IF NOT EXISTS events (
+    event_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id   TEXT NOT NULL,
+    kind     TEXT NOT NULL,
+    detail   TEXT,
+    at       REAL NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True)
+class JobRow:
+    """One persisted job row (a read-only view of the ``jobs`` table)."""
+
+    job_id: str
+    design: str
+    kind: str
+    params: Dict[str, Any]
+    seed: str
+    status: str
+    attempts: int
+    crashes: int
+    verdict: Optional[Dict[str, Any]]
+    error: Optional[str]
+    error_type: Optional[str]
+    seconds: Optional[float]
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+
+class JobStore:
+    """Single-writer persistence layer over one campaign database."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path, timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        # WAL survives a killed writer with at most the in-flight
+        # transaction lost; NORMAL sync is the documented WAL pairing
+        # (durable against process crash, which is our failure model).
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+        self._check_schema()
+
+    # ------------------------------------------------------------------ #
+    # meta / spec
+    # ------------------------------------------------------------------ #
+
+    def _check_schema(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'"
+        ).fetchone()
+        if row is None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO meta(key, value) VALUES('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+            return
+        found = int(row["value"])
+        if found != SCHEMA_VERSION:
+            raise CampaignError(
+                f"campaign DB {self.path!r} has schema v{found}, "
+                f"this build reads v{SCHEMA_VERSION}",
+                stage="campaign",
+            )
+
+    def load_spec(self) -> Optional[CampaignSpec]:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key='spec'"
+        ).fetchone()
+        return None if row is None else CampaignSpec.from_json(row["value"])
+
+    def bind_spec(self, spec: CampaignSpec) -> None:
+        """Store the spec, or verify it matches the one already stored.
+
+        A campaign DB belongs to exactly one spec; running a different
+        spec against it would interleave two incompatible job grids, so
+        that is an error rather than a merge.
+        """
+        stored = self.load_spec()
+        if stored is None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO meta(key, value) VALUES('spec', ?)",
+                    (spec.to_json(),),
+                )
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO meta(key, value) VALUES('created_at', ?)",
+                    (str(time.time()),),
+                )
+        elif stored != spec:
+            raise CampaignError(
+                f"campaign DB {self.path!r} was created for a different spec; "
+                "use `campaign resume` (stored spec), a fresh DB, or pass "
+                "the identical spec",
+                stage="campaign",
+                detail={"stored": stored.to_json(), "given": spec.to_json()},
+            )
+
+    # ------------------------------------------------------------------ #
+    # designs
+    # ------------------------------------------------------------------ #
+
+    def store_design(self, name: str, source: str,
+                     verilog: Optional[str] = None) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO designs(name, source, verilog) "
+                "VALUES(?, ?, ?)",
+                (name, source, verilog),
+            )
+
+    def design_verilog(self) -> Dict[str, str]:
+        """Designs serialized into the DB (``db:`` sources), name -> text."""
+        rows = self._conn.execute(
+            "SELECT name, verilog FROM designs WHERE verilog IS NOT NULL"
+        ).fetchall()
+        return {row["name"]: row["verilog"] for row in rows}
+
+    def design_sources(self) -> Dict[str, str]:
+        rows = self._conn.execute("SELECT name, source FROM designs").fetchall()
+        return {row["name"]: row["source"] for row in rows}
+
+    # ------------------------------------------------------------------ #
+    # job rows
+    # ------------------------------------------------------------------ #
+
+    def insert_jobs(self, jobs: Sequence[Job]) -> int:
+        """Add expanded jobs, ignoring ids already present.  Returns #new."""
+        now = time.time()
+        with self._conn:
+            before = self._conn.total_changes
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO jobs"
+                "(job_id, design, kind, params, seed, status, updated_at) "
+                "VALUES(?, ?, ?, ?, ?, 'pending', ?)",
+                [
+                    (job.job_id, job.design, job.kind,
+                     json.dumps(job.params, sort_keys=True), job.seed, now)
+                    for job in jobs
+                ],
+            )
+            return self._conn.total_changes - before
+
+    def sweep_stale_running(self) -> int:
+        """Reset ``running`` rows left by a killed scheduler to ``pending``."""
+        with self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET status='pending', worker=NULL, updated_at=? "
+                "WHERE status='running'",
+                (time.time(),),
+            )
+            return cursor.rowcount
+
+    def apply_overwrite(self, policy: str) -> int:
+        """Re-open terminal rows per the overwrite policy.  Returns #reset.
+
+        ``none``
+            Keep every terminal verdict (pure resume).
+        ``failed``
+            Re-open ``failed`` and ``faulty`` rows, clearing their attempt
+            and crash counters — "try the broken ones again".
+        ``all``
+            Re-open everything; verdicts are discarded and the whole
+            campaign re-executes.
+        """
+        if policy not in OVERWRITE_POLICIES:
+            raise CampaignError(
+                f"unknown overwrite policy {policy!r} "
+                f"(valid: {', '.join(OVERWRITE_POLICIES)})",
+                stage="campaign",
+            )
+        if policy == "none":
+            return 0
+        where = ("WHERE status IN ('failed', 'faulty')"
+                 if policy == "failed" else "")
+        with self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET status='pending', attempts=0, crashes=0, "
+                "verdict=NULL, error=NULL, error_type=NULL, seconds=NULL, "
+                f"worker=NULL, updated_at=? {where}",
+                (time.time(),),
+            )
+            return cursor.rowcount
+
+    def pending_jobs(self) -> List[JobRow]:
+        rows = self._conn.execute(
+            "SELECT * FROM jobs WHERE status='pending' ORDER BY job_id"
+        ).fetchall()
+        return [self._to_row(row) for row in rows]
+
+    def mark_running(self, job_ids: Iterable[str], worker: Optional[int] = None) -> None:
+        now = time.time()
+        with self._conn:
+            self._conn.executemany(
+                "UPDATE jobs SET status='running', worker=?, updated_at=? "
+                "WHERE job_id=?",
+                [(worker, now, job_id) for job_id in job_ids],
+            )
+
+    def mark_pending(self, job_ids: Iterable[str]) -> None:
+        """Hand in-flight jobs back (graceful shutdown, pool rebuild)."""
+        now = time.time()
+        with self._conn:
+            self._conn.executemany(
+                "UPDATE jobs SET status='pending', worker=NULL, updated_at=? "
+                "WHERE job_id=?",
+                [(now, job_id) for job_id in job_ids],
+            )
+
+    def record_attempt(self, job_id: str) -> int:
+        """Bump the attempt counter; returns the new attempt ordinal."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET attempts = attempts + 1, updated_at=? "
+                "WHERE job_id=?",
+                (time.time(), job_id),
+            )
+        row = self._conn.execute(
+            "SELECT attempts FROM jobs WHERE job_id=?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise CampaignError(f"unknown job id {job_id!r}", stage="campaign")
+        return int(row["attempts"])
+
+    def record_crash(self, job_id: str) -> int:
+        """Bump the crash counter (worker death / hang); returns new count."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET crashes = crashes + 1, updated_at=? "
+                "WHERE job_id=?",
+                (time.time(), job_id),
+            )
+        row = self._conn.execute(
+            "SELECT crashes FROM jobs WHERE job_id=?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise CampaignError(f"unknown job id {job_id!r}", stage="campaign")
+        return int(row["crashes"])
+
+    def record_result(
+        self,
+        job_id: str,
+        status: str,
+        *,
+        verdict: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+        error_type: Optional[str] = None,
+        seconds: Optional[float] = None,
+        worker: Optional[int] = None,
+    ) -> None:
+        with self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET status=?, verdict=?, error=?, error_type=?, "
+                "seconds=?, worker=?, updated_at=? WHERE job_id=?",
+                (
+                    status,
+                    None if verdict is None else json.dumps(verdict, sort_keys=True),
+                    error, error_type, seconds, worker, time.time(), job_id,
+                ),
+            )
+
+    def record_event(self, job_id: str, kind: str, detail: str = "") -> None:
+        """Append to the retry/crash ledger (``retry``/``timeout``/``crash``/...)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO events(job_id, kind, detail, at) VALUES(?, ?, ?, ?)",
+                (job_id, kind, detail, time.time()),
+            )
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def counts(self) -> Dict[str, int]:
+        rows = self._conn.execute(
+            "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
+        ).fetchall()
+        return {row["status"]: row["n"] for row in rows}
+
+    def event_counts(self) -> Dict[str, int]:
+        rows = self._conn.execute(
+            "SELECT kind, COUNT(*) AS n FROM events GROUP BY kind"
+        ).fetchall()
+        return {row["kind"]: row["n"] for row in rows}
+
+    def events(self, limit: int = 50) -> List[Dict[str, Any]]:
+        rows = self._conn.execute(
+            "SELECT job_id, kind, detail, at FROM events "
+            "ORDER BY event_id DESC LIMIT ?", (limit,)
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def all_jobs(self) -> List[JobRow]:
+        rows = self._conn.execute(
+            "SELECT * FROM jobs ORDER BY job_id"
+        ).fetchall()
+        return [self._to_row(row) for row in rows]
+
+    def job(self, job_id: str) -> Optional[JobRow]:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE job_id=?", (job_id,)
+        ).fetchone()
+        return None if row is None else self._to_row(row)
+
+    @staticmethod
+    def _to_row(row: sqlite3.Row) -> JobRow:
+        verdict = row["verdict"]
+        return JobRow(
+            job_id=row["job_id"],
+            design=row["design"],
+            kind=row["kind"],
+            params=json.loads(row["params"]),
+            seed=row["seed"],
+            status=row["status"],
+            attempts=row["attempts"],
+            crashes=row["crashes"],
+            verdict=None if verdict is None else json.loads(verdict),
+            error=row["error"],
+            error_type=row["error_type"],
+            seconds=row["seconds"],
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> None:
+        """Checkpoint the WAL into the main DB file."""
+        self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def close(self) -> None:
+        try:
+            self.flush()
+        except sqlite3.Error:
+            pass
+        self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["JobRow", "JobStore", "SCHEMA_VERSION", "TERMINAL_STATES"]

@@ -1,0 +1,106 @@
+"""Portable per-job wall-clock timeouts for campaign workers.
+
+Campaign jobs run arbitrary pipeline work (SAT solving included), so a
+pathological job could wedge its worker forever.  :func:`run_with_timeout`
+caps one callable:
+
+* On POSIX main threads it arms ``SIGALRM`` via ``signal.setitimer`` — the
+  same mechanism as the pytest-timeout fallback from PR 1 — which
+  *interrupts* the running Python code, so even a compute-bound job stops
+  within one bytecode instruction of the deadline.  Any previously armed
+  itimer (e.g. pytest-timeout's own per-test cap) is saved and re-armed
+  with its remaining time afterwards, so nesting is safe.
+* Everywhere else (Windows, non-main threads) it falls back to running
+  the job in a daemon thread and joining with the deadline.  The verdict
+  is just as reliable, but an abandoned job keeps its thread until it
+  finishes on its own — acceptable for pool workers, which the scheduler
+  quarantines and recycles.
+
+Either way the caller sees a :class:`JobTimeoutError`, which the scheduler
+treats like a worker crash: bounded retries, then quarantine.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import ReproError
+
+
+class JobTimeoutError(ReproError):
+    """A job exceeded its wall-clock cap and was abandoned."""
+
+
+def _sigalrm_usable() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _run_with_sigalrm(fn: Callable[[], Any], seconds: float) -> Any:
+    def _expired(signum: int, frame: object) -> None:
+        raise JobTimeoutError(
+            f"job exceeded its {seconds:g}s wall-clock cap", stage="campaign"
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, _expired)
+    started = time.monotonic()
+    previous_delay, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if previous_delay > 0:
+            # Re-arm the outer timer (pytest-timeout, a nested cap) with
+            # whatever budget it has left; floor at 10ms so an already
+            # expired outer timer still fires instead of disarming.
+            elapsed = time.monotonic() - started
+            signal.setitimer(
+                signal.ITIMER_REAL, max(0.01, previous_delay - elapsed)
+            )
+
+
+def _run_in_thread(fn: Callable[[], Any], seconds: float) -> Any:
+    outcome: List[Tuple[bool, Any]] = []
+
+    def _target() -> None:
+        try:
+            outcome.append((True, fn()))
+        except BaseException as exc:  # noqa: BLE001 — re-raised in caller
+            outcome.append((False, exc))
+
+    thread = threading.Thread(target=_target, daemon=True, name="campaign-job")
+    thread.start()
+    thread.join(seconds)
+    if thread.is_alive():
+        raise JobTimeoutError(
+            f"job exceeded its {seconds:g}s wall-clock cap "
+            "(thread fallback; worker thread abandoned)", stage="campaign",
+        )
+    ok, value = outcome[0]
+    if ok:
+        return value
+    raise value
+
+
+def run_with_timeout(
+    fn: Callable[[], Any], seconds: Optional[float]
+) -> Any:
+    """Run ``fn()`` under a wall-clock cap; raise :class:`JobTimeoutError`.
+
+    ``seconds`` of ``None`` or ``<= 0`` disables the cap entirely (no
+    signal/thread overhead) — the campaign's "unlimited" spelling.
+    """
+    if seconds is None or seconds <= 0:
+        return fn()
+    if _sigalrm_usable():
+        return _run_with_sigalrm(fn, seconds)
+    return _run_in_thread(fn, seconds)
+
+
+__all__ = ["JobTimeoutError", "run_with_timeout"]

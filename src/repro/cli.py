@@ -11,6 +11,8 @@ Subcommands::
     repro-fp measure <design>                   area / delay / power
     repro-fp audit <design>                     verify every variant (CEC)
     repro-fp inject <design>                    fault-injection campaign
+    repro-fp campaign run <design> --db FILE    persistent resumable campaign
+    repro-fp campaign {status,resume,report} --db FILE
     repro-fp bench <name> [-o out.v]            emit a suite circuit
     repro-fp tables [quick|medium|full]         regenerate paper tables
 
@@ -385,6 +387,78 @@ def _cmd_inject(args: argparse.Namespace) -> CommandResult:
     return (0 if report.clean else 1), result
 
 
+def _cmd_campaign(args: argparse.Namespace) -> CommandResult:
+    from .campaign import (
+        CampaignOptions,
+        CampaignSpec,
+        build_report,
+        campaign_status,
+        resume_campaign,
+        run_campaign,
+        write_report,
+    )
+
+    if args.action == "status":
+        status = campaign_status(args.db)
+        counts = status["counts"]
+        states = ", ".join(f"{k}={v}" for k, v in sorted(counts.items())) or "empty"
+        _say(
+            args,
+            f"campaign {args.db}: {status['n_jobs']} jobs ({states})",
+            "complete" if status["complete"] else
+            f"{status['terminal']}/{status['n_jobs']} terminal",
+        )
+        return 0, status
+
+    if args.action == "report":
+        report = build_report(args.db)
+        if args.out:
+            paths = write_report(args.db, args.out)
+            _say(args, f"wrote {paths['json']} and {paths['html']}")
+        totals = report["totals"]
+        _say(
+            args,
+            f"campaign {args.db}: {totals['n_jobs']} jobs, "
+            f"{'complete' if totals['complete'] else 'incomplete'}, "
+            f"{'clean' if totals['clean'] else 'FAILURES'}",
+        )
+        return (0 if totals["clean"] else 1), report
+
+    options = CampaignOptions(
+        jobs=args.jobs,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        retry_attempts=args.retries,
+        backoff_s=args.backoff,
+        overwrite=args.overwrite,
+        max_jobs=args.max_jobs,
+        ladder=_ladder_config(args),
+        measure_overheads=args.measure,
+    )
+    if args.action == "resume":
+        if args.designs:
+            raise SystemExit("campaign resume takes no designs "
+                             "(the spec is stored in the DB)")
+        summary = resume_campaign(args.db, options)
+    else:  # run
+        if not args.designs:
+            raise SystemExit("campaign run needs at least one design")
+        spec = CampaignSpec(
+            kind=args.kind,
+            designs=tuple(args.designs),
+            n_copies=args.copies,
+            trials=args.trials,
+            injectors=(tuple(args.injectors.split(","))
+                       if args.injectors else None),
+            seed=args.seed,
+        )
+        summary = run_campaign(spec, args.db, options)
+    _say(args, summary.summary())
+    # Failed/faulty jobs are the only failure condition; a clean
+    # interrupt (Ctrl-C, --max-jobs budget) still exits 0 so checkpointed
+    # runs can be chained.
+    return (0 if summary.clean else 1), summary.as_dict()
+
+
 def read_verilog_text(text: str) -> Circuit:
     """Parse structural Verilog from a string (text-campaign helper)."""
     from .netlist.verilog import parse_verilog
@@ -529,6 +603,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--text", action="store_true",
                    help="also corrupt the serialized form and re-parse it")
     p.set_defaults(func=_cmd_inject)
+
+    p = sub.add_parser(
+        "campaign",
+        help="persistent, resumable job campaigns (SQLite-backed)",
+        description="Expand a declarative spec (designs x job kind x seeds) "
+        "into job rows inside a SQLite result database and execute whatever "
+        "is still pending with per-job timeouts, bounded retries, and crash "
+        "quarantine.  Interrupt at any time (Ctrl-C, SIGTERM, --max-jobs); "
+        "`campaign resume` continues exactly where the DB left off, and "
+        "re-running a finished campaign executes nothing.  "
+        "`campaign report` aggregates the DB into JSON/HTML fleet reports.",
+    )
+    p.add_argument("action", choices=("run", "status", "resume", "report"),
+                   help="run a spec / show progress / continue the stored "
+                   "spec / aggregate results")
+    p.add_argument("designs", nargs="*",
+                   help="design sources for `run`: .blif/.v paths or "
+                   "bench:<name> suite circuits")
+    p.add_argument("--db", required=True, metavar="FILE",
+                   help="campaign result database (created on first run)")
+    p.add_argument("--kind", choices=("fingerprint", "inject", "inject-text"),
+                   default="fingerprint",
+                   help="job kind expanded from the spec (default: fingerprint)")
+    p.add_argument("--copies", type=int, default=8, metavar="N",
+                   help="fingerprint kind: copies per design (default: 8)")
+    p.add_argument("--trials", type=int, default=1, metavar="N",
+                   help="inject kinds: trials per injector (default: 1)")
+    p.add_argument("--injectors", default=None, metavar="A,B",
+                   help="inject kinds: comma-separated injector names "
+                   "(default: all registered)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign base seed (default: 0)")
+    p.add_argument("--jobs", type=int, default=1, metavar="J",
+                   help="worker processes (default: 1)")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                   help="per-job wall-clock cap, 0 disables (default: 300)")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="re-executions after a typed job error (default: 2)")
+    p.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                   help="base of the exponential retry backoff (default: 0.5)")
+    p.add_argument("--overwrite", choices=("none", "failed", "all"),
+                   default="none",
+                   help="re-open terminal job rows before running "
+                   "(default: none = pure resume)")
+    p.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                   help="execute at most N jobs this run, then stop "
+                   "gracefully (checkpointed interrupt)")
+    p.add_argument("--measure", action="store_true",
+                   help="fingerprint kind: record per-copy overheads")
+    p.add_argument("--out", metavar="DIR", default=None,
+                   help="report action: write report.json/report.html here")
+    _add_ladder_options(p)
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("bench", help="emit a suite benchmark circuit")
     p.add_argument("name")

@@ -12,6 +12,8 @@ from .campaign import (
     FaultRecord,
     Outcome,
     run_netlist_campaign,
+    run_one_corruption,
+    run_one_injection,
     run_text_campaign,
 )
 from .corruptors import (
@@ -43,6 +45,8 @@ __all__ = [
     "FaultRecord",
     "Outcome",
     "run_netlist_campaign",
+    "run_one_corruption",
+    "run_one_injection",
     "run_text_campaign",
     "ALL_CORRUPTORS",
     "CorruptedText",

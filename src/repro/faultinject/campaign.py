@@ -25,10 +25,9 @@ the DAVOS methodology of proving error handling by injection.
 from __future__ import annotations
 
 import enum
-import random
 import traceback
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..budget import Budget
 from ..errors import FaultInjectionError, ReproError
@@ -36,6 +35,7 @@ from ..flows.ladder import LadderConfig
 from ..flows.options import FlowOptions
 from ..flows.pipeline import run_flow
 from ..netlist.circuit import Circuit
+from ..seeds import derive_rng
 from .corruptors import ALL_CORRUPTORS, Corruptor
 from .mutators import ALL_MUTATORS, Mutator
 
@@ -77,6 +77,13 @@ class FaultRecord:
         if self.outcome is Outcome.TYPED_ERROR:
             return bool(self.error_message and self.error_message.strip())
         return True
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (the campaign DB's verdict payload)."""
+        payload = asdict(self)
+        payload["outcome"] = self.outcome.value
+        payload["acceptable"] = self.acceptable
+        return payload
 
 
 @dataclass
@@ -192,6 +199,63 @@ def _stamp(
     )
 
 
+def run_one_injection(
+    circuit: Circuit,
+    mutator: Mutator,
+    trial: int,
+    seed: int = 0,
+    ladder: Optional[LadderConfig] = None,
+) -> FaultRecord:
+    """One (circuit, mutator, trial) point: inject, run the flow, classify.
+
+    The per-trial randomness comes from :func:`repro.seeds.derive_rng`, so
+    the record for a coordinate is identical whether it is produced by the
+    in-memory loop below or by a persistent
+    :mod:`repro.campaign` job — that equivalence is what lets the
+    campaign engine resume fault-injection sweeps deterministically.
+    """
+    ladder = ladder if ladder is not None else CAMPAIGN_LADDER
+    rng = derive_rng(seed, circuit.name, mutator.name, trial)
+    mutant = circuit.clone(f"{circuit.name}__{mutator.name}_{trial}")
+    try:
+        fault = mutator.apply(mutant, rng)
+    except FaultInjectionError as exc:
+        return FaultRecord(
+            design=circuit.name,
+            injector=mutator.name,
+            description=str(exc),
+            outcome=Outcome.SKIPPED,
+            structural=mutator.structural,
+        )
+    partial = _classify(lambda m=mutant: run_flow(m, FlowOptions(ladder=ladder)))
+    return _stamp(
+        partial, circuit.name, mutator.name, fault.description, mutator.structural
+    )
+
+
+def run_one_corruption(
+    name: str,
+    text: str,
+    corruptor: Corruptor,
+    trial: int,
+    parser: Callable[[str], object],
+    seed: int = 0,
+) -> FaultRecord:
+    """One (document, corruptor, trial) point: corrupt, parse, classify."""
+    rng = derive_rng(seed, name, corruptor.name, trial)
+    try:
+        corrupted = corruptor.apply(text, rng)
+    except FaultInjectionError as exc:
+        return FaultRecord(
+            design=name,
+            injector=corruptor.name,
+            description=str(exc),
+            outcome=Outcome.SKIPPED,
+        )
+    partial = _classify(lambda c=corrupted: parser(c.text))
+    return _stamp(partial, name, corruptor.name, corrupted.description, None)
+
+
 def run_netlist_campaign(
     circuits: Sequence[Circuit],
     mutators: Sequence[Mutator] = ALL_MUTATORS,
@@ -205,38 +269,18 @@ def run_netlist_campaign(
     one fault, and pushes the mutant through the fingerprinting flow under
     the cheap :data:`CAMPAIGN_LADDER` verification settings.  The report
     asserts nothing by itself — check :attr:`CampaignReport.clean`.
+
+    This is the in-memory front-end; for persistent, resumable sweeps use
+    ``repro-fp campaign run --kind inject`` (:mod:`repro.campaign`),
+    which executes the same per-trial function against a result DB.
     """
     ladder = ladder if ladder is not None else CAMPAIGN_LADDER
     report = CampaignReport()
     for circuit in circuits:
         for mutator in mutators:
             for trial in range(trials):
-                rng = random.Random((seed, circuit.name, mutator.name, trial).__repr__())
-                mutant = circuit.clone(f"{circuit.name}__{mutator.name}_{trial}")
-                try:
-                    fault = mutator.apply(mutant, rng)
-                except FaultInjectionError as exc:
-                    report.records.append(
-                        FaultRecord(
-                            design=circuit.name,
-                            injector=mutator.name,
-                            description=str(exc),
-                            outcome=Outcome.SKIPPED,
-                            structural=mutator.structural,
-                        )
-                    )
-                    continue
-                partial = _classify(
-                    lambda m=mutant: run_flow(m, FlowOptions(ladder=ladder))
-                )
                 report.records.append(
-                    _stamp(
-                        partial,
-                        circuit.name,
-                        mutator.name,
-                        fault.description,
-                        mutator.structural,
-                    )
+                    run_one_injection(circuit, mutator, trial, seed, ladder)
                 )
     return report
 
@@ -258,22 +302,8 @@ def run_text_campaign(
     for name, text in documents.items():
         for corruptor in corruptors:
             for trial in range(trials):
-                rng = random.Random((seed, name, corruptor.name, trial).__repr__())
-                try:
-                    corrupted = corruptor.apply(text, rng)
-                except FaultInjectionError as exc:
-                    report.records.append(
-                        FaultRecord(
-                            design=name,
-                            injector=corruptor.name,
-                            description=str(exc),
-                            outcome=Outcome.SKIPPED,
-                        )
-                    )
-                    continue
-                partial = _classify(lambda c=corrupted: parser(c.text))
                 report.records.append(
-                    _stamp(partial, name, corruptor.name, corrupted.description, None)
+                    run_one_corruption(name, text, corruptor, trial, parser, seed)
                 )
     return report
 
@@ -284,5 +314,7 @@ __all__ = [
     "FaultRecord",
     "Outcome",
     "run_netlist_campaign",
+    "run_one_corruption",
+    "run_one_injection",
     "run_text_campaign",
 ]

@@ -24,6 +24,7 @@ import random
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -71,6 +72,9 @@ class BatchResult:
     jobs: int
     wall_seconds: float
     records: List[CopyRecord] = field(default_factory=list)
+    #: True when the worker pool died mid-run and the remaining copies
+    #: were finished in-process (degraded to serial, but nothing lost).
+    pool_broken: bool = False
 
     @property
     def copies_per_sec(self) -> float:
@@ -110,6 +114,7 @@ class BatchResult:
             "n_mismatch": self.n_mismatch,
             "n_proven": self.n_proven,
             "n_degraded": self.n_degraded,
+            "pool_broken": self.pool_broken,
             "records": [asdict(r) for r in self.records],
         }
 
@@ -155,12 +160,20 @@ def select_values(combinations: int, n_copies: int, seed: int = 0) -> List[int]:
 _WORKER: Dict[str, object] = {}
 
 
-def _build_state(
+def build_worker_state(
     base: Circuit,
     options: Optional[FinderOptions],
     ladder: Optional[LadderConfig],
     measure_overheads: bool,
 ) -> Dict[str, object]:
+    """Everything one worker needs to embed-and-verify values of ``base``.
+
+    Built once per process (catalog, codec, persistent incremental CEC
+    session, optional overhead baseline) and reused for every value.
+    Shared with the persistent campaign engine
+    (:mod:`repro.campaign.jobs`), which runs the same loop job-by-job
+    against a result database.
+    """
     catalog = find_locations(base, options)
     return {
         "base": base,
@@ -191,10 +204,11 @@ def _init_worker(
     if trace_on or metrics_on:
         telemetry.enable(trace=trace_on, metrics=metrics_on)
     _WORKER.clear()
-    _WORKER.update(_build_state(base, options, ladder, measure_overheads))
+    _WORKER.update(build_worker_state(base, options, ladder, measure_overheads))
 
 
-def _verify_one(state: Dict[str, object], value: int) -> CopyRecord:
+def verify_one_value(state: Dict[str, object], value: int) -> CopyRecord:
+    """Embed fingerprint ``value`` on the state's base and verify the copy."""
     start = time.perf_counter()
     base: Circuit = state["base"]
     with telemetry.span("batch.copy", value=value) as copy_span:
@@ -235,7 +249,12 @@ def _verify_chunk(
     the ``ProcessPoolExecutor`` boundary with the results; the parent
     grafts them into its own tracer/registry (tagged by worker pid).
     """
-    records = [_verify_one(_WORKER, value) for value in values]
+    # Test-only fault hook: crash this worker (as a real native crash
+    # would) when told to, so the pool-salvage path stays testable.
+    crash_value = os.environ.get("REPRO_BATCH_CRASH_VALUE")
+    if crash_value is not None and int(crash_value) in values:
+        os._exit(3)
+    records = [verify_one_value(_WORKER, value) for value in values]
     spans = telemetry.drain_spans() if telemetry.tracing_enabled() else []
     pid = os.getpid()
     for payload in spans:
@@ -286,36 +305,62 @@ def run_batch_flow(
             raise annotate(exc, stage="batch", design=design.name)
 
         start = time.perf_counter()
+        pool_broken = False
         if opts.jobs <= 1:
-            state = _build_state(
+            state = build_worker_state(
                 design, opts.resolved_finder(), opts.ladder, opts.measure_overheads
             )
-            records = [_verify_one(state, value) for value in values]
+            records = [verify_one_value(state, value) for value in values]
         else:
             # A fresh clone drops the (potentially large) per-version
             # caches before pickling the circuit into each worker.
             payload = design.clone(design.name)
             flags = (telemetry.tracing_enabled(), telemetry.metrics_enabled())
             records = []
-            with ProcessPoolExecutor(
-                max_workers=opts.jobs,
-                initializer=_init_worker,
-                initargs=(
-                    payload,
-                    opts.resolved_finder(),
-                    opts.ladder,
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=opts.jobs,
+                    initializer=_init_worker,
+                    initargs=(
+                        payload,
+                        opts.resolved_finder(),
+                        opts.ladder,
+                        opts.measure_overheads,
+                        flags,
+                    ),
+                ) as pool:
+                    for chunk_records, spans, metrics in pool.map(
+                        _verify_chunk, _chunked(values, opts.jobs)
+                    ):
+                        records.extend(chunk_records)
+                        if spans:
+                            telemetry.get_tracer().adopt(spans)
+                        if metrics:
+                            telemetry.get_registry().merge(metrics)
+            except BrokenProcessPool:
+                # A worker died (OOM-kill, native crash, os._exit).  The
+                # chunk results already consumed above are valid verdicts
+                # — keep them, and finish the not-yet-reported values
+                # in-process instead of throwing the whole batch away.
+                pool_broken = True
+                done = {record.value for record in records}
+                remaining = [value for value in values if value not in done]
+                warnings.warn(
+                    f"batch worker pool died after {len(done)}/{len(values)} "
+                    f"copies; finishing the remaining {len(remaining)} "
+                    "in-process (degraded to serial)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                telemetry.count("batch.pool_broken")
+                batch_span.set(pool_broken=True)
+                state = build_worker_state(
+                    design, opts.resolved_finder(), opts.ladder,
                     opts.measure_overheads,
-                    flags,
-                ),
-            ) as pool:
-                for chunk_records, spans, metrics in pool.map(
-                    _verify_chunk, _chunked(values, opts.jobs)
-                ):
-                    records.extend(chunk_records)
-                    if spans:
-                        telemetry.get_tracer().adopt(spans)
-                    if metrics:
-                        telemetry.get_registry().merge(metrics)
+                )
+                records.extend(
+                    verify_one_value(state, value) for value in remaining
+                )
         wall = time.perf_counter() - start
         records.sort(key=lambda record: record.value)
         result = BatchResult(
@@ -324,6 +369,7 @@ def run_batch_flow(
             jobs=opts.jobs,
             wall_seconds=wall,
             records=records,
+            pool_broken=pool_broken,
         )
         batch_span.set(
             wall_seconds=wall,
@@ -369,7 +415,9 @@ __all__ = [
     "BatchError",
     "BatchResult",
     "CopyRecord",
+    "build_worker_state",
     "run_batch",
     "run_batch_flow",
     "select_values",
+    "verify_one_value",
 ]

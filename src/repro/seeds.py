@@ -1,0 +1,54 @@
+"""Deterministic RNG seed derivation shared by campaign-style harnesses.
+
+Both fault-injection campaigns and the persistent campaign engine need a
+*stable* per-trial random stream: the same ``(base seed, design, injector,
+trial)`` coordinates must produce the same randomness across processes,
+Python versions, and resumed runs, or an interrupted campaign could not be
+re-entered deterministically.
+
+The scheme is the one :mod:`repro.faultinject.campaign` has used since
+PR 1 — seed :class:`random.Random` with the ``repr`` of the coordinate
+tuple — extracted here so every harness derives seeds the same way instead
+of re-implementing the keying inline.  ``repr`` of a tuple of ints and
+strs is stable across CPython versions, and :class:`random.Random` hashes
+string seeds with its own version-stable algorithm (not ``hash()``, which
+is salted), so derived streams are reproducible everywhere.
+
+The exact byte-level keying is pinned by ``tests/test_seeds.py``; changing
+it would silently re-randomize every recorded campaign, so treat the key
+format as a compatibility contract.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+Label = Union[int, str]
+
+
+def derive_seed(seed: int, *labels: Label) -> str:
+    """The stable seed key for one (campaign, coordinate...) point.
+
+    Returns the string used to seed :class:`random.Random` — the ``repr``
+    of ``(seed, *labels)``.  Kept as a string (not an int digest) for
+    byte-compatibility with the historical inline scheme, so campaigns
+    recorded before this helper existed replay identically.
+    """
+    if not labels:
+        return (seed,).__repr__()
+    return (seed, *labels).__repr__()
+
+
+def derive_rng(seed: int, *labels: Label) -> random.Random:
+    """A :class:`random.Random` seeded at the derived coordinate.
+
+    ``derive_rng(0, "c17", "StuckAtNet", 2)`` is the per-trial stream for
+    trial 2 of the ``StuckAtNet`` injector on design ``c17`` under
+    campaign seed 0 — independent of execution order, process, and of
+    every other coordinate's stream.
+    """
+    return random.Random(derive_seed(seed, *labels))
+
+
+__all__ = ["derive_rng", "derive_seed"]

@@ -147,3 +147,53 @@ class TestDeprecatedShims:
             assert callable(repro.fingerprint)
             assert callable(repro.batch)
             assert callable(repro.verify)
+
+
+class TestCampaignFacade:
+    def test_circuit_input_serialized_and_resumable(self, tmp_path, fig1_circuit):
+        """An in-memory Circuit becomes a db: source, so a later resume in
+        a fresh process can reload it from the DB alone."""
+        from repro.api import campaign, campaign_resume, campaign_status
+
+        db = str(tmp_path / "api.db")
+        summary = campaign(fig1_circuit, db, n_copies=2, seed=0)
+        assert summary.complete and summary.clean
+        status = campaign_status(db)
+        assert status["designs"] == {fig1_circuit.name: f"db:{fig1_circuit.name}"}
+        # resume re-resolves the design purely from the DB text
+        again = campaign_resume(db)
+        assert again.executed == 0
+
+    def test_path_input(self, tmp_path, fig1_circuit):
+        from repro.api import campaign, save_circuit
+
+        path = str(tmp_path / "d.v")
+        save_circuit(fig1_circuit, path)
+        db = str(tmp_path / "p.db")
+        summary = campaign(path, db, n_copies=2)
+        assert summary.counts == {"done": 2}
+
+    def test_report_facade(self, tmp_path, fig1_circuit):
+        import os
+
+        from repro.api import campaign, campaign_report
+
+        db = str(tmp_path / "r.db")
+        campaign(fig1_circuit, db, n_copies=2)
+        out = str(tmp_path / "out")
+        report = campaign_report(db, out_dir=out)
+        assert report["totals"]["clean"] is True
+        assert os.path.exists(os.path.join(out, "report.json"))
+        assert os.path.exists(os.path.join(out, "report.html"))
+
+    def test_options_passthrough(self, tmp_path, fig1_circuit):
+        from repro.api import campaign
+        from repro.campaign import CampaignOptions
+
+        db = str(tmp_path / "o.db")
+        summary = campaign(
+            fig1_circuit, db, n_copies=3,
+            options=CampaignOptions(jobs=1, max_jobs=1),
+        )
+        assert summary.executed == 1
+        assert summary.interrupted

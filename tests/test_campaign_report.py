@@ -1,0 +1,104 @@
+"""Tests for campaign fleet reporting (``repro.campaign.report``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.data import data_path
+from repro.campaign import (
+    CampaignOptions,
+    CampaignSpec,
+    build_report,
+    render_html,
+    run_campaign,
+    write_report,
+)
+
+C17 = data_path("c17.blif")
+
+
+@pytest.fixture(scope="module")
+def fingerprint_db(tmp_path_factory):
+    db = str(tmp_path_factory.mktemp("rep") / "fp.db")
+    spec = CampaignSpec(kind="fingerprint", designs=(C17,), n_copies=4)
+    run_campaign(spec, db, CampaignOptions(jobs=1, timeout_s=60.0))
+    return db
+
+
+@pytest.fixture(scope="module")
+def inject_db(tmp_path_factory):
+    db = str(tmp_path_factory.mktemp("rep") / "inj.db")
+    spec = CampaignSpec(kind="inject", designs=(C17,), trials=1)
+    run_campaign(spec, db, CampaignOptions(jobs=1, timeout_s=60.0))
+    return db
+
+
+class TestBuildReport:
+    def test_fingerprint_sections(self, fingerprint_db):
+        report = build_report(fingerprint_db)
+        totals = report["totals"]
+        assert totals["n_jobs"] == 4
+        assert totals["complete"] and totals["clean"]
+        entry = report["fingerprint"]["c17"]
+        assert entry["copies"] == 4
+        assert entry["equivalent"] == 4
+        assert sum(entry["tiers"].values()) == 4
+        assert report["injectors"] == {}
+        assert report["failures"] == []
+
+    def test_injector_matrix(self, inject_db):
+        report = build_report(inject_db)
+        matrix = report["injectors"]
+        from repro.faultinject import ALL_MUTATORS
+
+        assert set(matrix) <= {m.name for m in ALL_MUTATORS}
+        for entry in matrix.values():
+            assert entry["trials"] == \
+                entry["acceptable"] + entry["violations"]
+            assert sum(entry["outcomes"].values()) == entry["trials"]
+
+    def test_throughput(self, fingerprint_db):
+        throughput = build_report(fingerprint_db)["throughput"]
+        assert throughput["jobs_timed"] == 4
+        assert throughput["job_seconds_total"] > 0
+        assert throughput["job_seconds_p50"] is not None
+
+    def test_spec_embedded(self, fingerprint_db):
+        report = build_report(fingerprint_db)
+        assert report["spec"]["kind"] == "fingerprint"
+        assert report["designs"] == {"c17": C17}
+
+    def test_json_serializable(self, fingerprint_db):
+        json.dumps(build_report(fingerprint_db))
+
+
+class TestHtml:
+    def test_renders_sections(self, fingerprint_db):
+        page = render_html(build_report(fingerprint_db))
+        assert page.startswith("<!doctype html>")
+        assert "Fingerprint verification" in page
+        assert "CLEAN" in page
+
+    def test_escapes_content(self):
+        report = {
+            "db_path": "<script>alert(1)</script>",
+            "totals": {"n_jobs": 0, "counts": {}, "terminal": 0,
+                       "complete": False, "clean": True},
+            "throughput": {"jobs_timed": 0},
+            "fingerprint": {},
+            "injectors": {},
+            "failures": [],
+            "ledger": {"event_counts": {}, "recent": []},
+        }
+        page = render_html(report)
+        assert "<script>" not in page
+
+
+class TestWriteReport:
+    def test_writes_both_files(self, fingerprint_db, tmp_path):
+        paths = write_report(fingerprint_db, str(tmp_path / "out"))
+        payload = json.loads(open(paths["json"]).read())
+        assert payload["totals"]["n_jobs"] == 4
+        assert open(paths["html"]).read().startswith("<!doctype html>")

@@ -1,0 +1,174 @@
+"""Tests for campaign specs and their deterministic expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.data import data_path
+from repro.api import load_circuit
+from repro.campaign import (
+    CampaignError,
+    CampaignSpec,
+    expand_jobs,
+    job_id_for,
+    resolve_design,
+    resolve_designs,
+)
+
+C17 = data_path("c17.blif")
+
+
+@pytest.fixture(scope="module")
+def c17():
+    return load_circuit(C17)
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = CampaignSpec(designs=(C17,))
+        assert spec.kind == "fingerprint"
+        assert spec.n_copies == 8
+
+    def test_unknown_kind(self):
+        with pytest.raises(CampaignError, match="kind"):
+            CampaignSpec(kind="nope", designs=(C17,))
+
+    def test_no_designs(self):
+        with pytest.raises(CampaignError, match="design"):
+            CampaignSpec(designs=())
+
+    def test_bad_counts(self):
+        with pytest.raises(CampaignError, match="n_copies"):
+            CampaignSpec(designs=(C17,), n_copies=0)
+        with pytest.raises(CampaignError, match="trials"):
+            CampaignSpec(kind="inject", designs=(C17,), trials=0)
+
+    def test_list_designs_coerced(self):
+        spec = CampaignSpec(designs=[C17], injectors=["StuckAtNet"])
+        assert spec.designs == (C17,)
+        assert spec.injectors == ("StuckAtNet",)
+
+
+class TestSpecJson:
+    def test_roundtrip(self):
+        spec = CampaignSpec(
+            kind="inject", designs=(C17,), trials=3,
+            injectors=("StuckAtNet",), seed=9,
+        )
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+    def test_canonical(self):
+        spec = CampaignSpec(designs=(C17,))
+        assert spec.to_json() == CampaignSpec(designs=[C17]).to_json()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CampaignError, match="unknown field"):
+            CampaignSpec.from_json('{"kind": "fingerprint", "futuristic": 1}')
+
+    def test_corrupt_json(self):
+        with pytest.raises(CampaignError, match="corrupt"):
+            CampaignSpec.from_json("{nope")
+
+
+class TestJobIds:
+    def test_stable(self):
+        a = job_id_for("fingerprint", "c17", {"value": 3}, 0)
+        assert a == job_id_for("fingerprint", "c17", {"value": 3}, 0)
+        assert len(a) == 16
+
+    def test_param_order_irrelevant(self):
+        assert job_id_for("inject", "d", {"a": 1, "b": 2}, 0) == \
+            job_id_for("inject", "d", {"b": 2, "a": 1}, 0)
+
+    def test_coordinates_distinguish(self):
+        ids = {
+            job_id_for("fingerprint", "c17", {"value": 3}, 0),
+            job_id_for("fingerprint", "c17", {"value": 4}, 0),
+            job_id_for("fingerprint", "c17", {"value": 3}, 1),
+            job_id_for("inject", "c17", {"value": 3}, 0),
+        }
+        assert len(ids) == 4
+
+
+class TestResolveDesigns:
+    def test_file_path(self, c17):
+        assert resolve_design(C17).name == c17.name == "c17"
+
+    def test_bench_source(self):
+        circuit = resolve_design("bench:C432")
+        assert circuit.n_gates > 0
+
+    def test_unknown_bench(self):
+        with pytest.raises(CampaignError, match="bench"):
+            resolve_design("bench:nope")
+
+    def test_db_source_needs_stored_text(self):
+        with pytest.raises(CampaignError, match="not stored"):
+            resolve_design("db:ghost")
+
+    def test_db_source_roundtrip(self, c17):
+        from repro.netlist.verilog import write_verilog
+
+        circuit = resolve_design("db:c17", {"c17": write_verilog(c17)})
+        assert circuit.name == "c17"
+        assert circuit.n_gates == c17.n_gates
+
+    def test_name_collision(self):
+        spec = CampaignSpec(designs=(C17, C17))
+        with pytest.raises(CampaignError, match="twice"):
+            resolve_designs(spec)
+
+
+class TestExpandJobs:
+    def test_fingerprint_deterministic(self, c17):
+        spec = CampaignSpec(designs=(C17,), n_copies=4, seed=0)
+        jobs = expand_jobs(spec, {"c17": c17})
+        again = expand_jobs(spec, {"c17": c17})
+        assert [j.job_id for j in jobs] == [j.job_id for j in again]
+        assert len(jobs) == 4
+        assert len({j.job_id for j in jobs}) == 4
+        assert all(j.kind == "fingerprint" for j in jobs)
+        values = [j.params["value"] for j in jobs]
+        assert len(set(values)) == 4
+
+    def test_fingerprint_matches_batch_selection(self, c17):
+        """A campaign issues exactly the values a one-shot batch would."""
+        from repro.fingerprint import FingerprintCodec, find_locations
+        from repro.flows import select_values
+
+        codec = FingerprintCodec(find_locations(c17))
+        expected = select_values(codec.combinations, 4, seed=0)
+        spec = CampaignSpec(designs=(C17,), n_copies=4, seed=0)
+        jobs = expand_jobs(spec, {"c17": c17})
+        assert [j.params["value"] for j in jobs] == list(expected)
+
+    def test_inject_grid(self, c17):
+        from repro.faultinject import ALL_MUTATORS
+
+        spec = CampaignSpec(kind="inject", designs=(C17,), trials=2, seed=0)
+        jobs = expand_jobs(spec, {"c17": c17})
+        assert len(jobs) == len(ALL_MUTATORS) * 2
+        assert {j.params["injector"] for j in jobs} == \
+            {m.name for m in ALL_MUTATORS}
+
+    def test_inject_filtered(self, c17):
+        spec = CampaignSpec(
+            kind="inject", designs=(C17,), trials=1,
+            injectors=("StuckAtNet",),
+        )
+        jobs = expand_jobs(spec, {"c17": c17})
+        assert len(jobs) == 1
+
+    def test_unknown_injector(self, c17):
+        spec = CampaignSpec(
+            kind="inject", designs=(C17,), injectors=("Nope",)
+        )
+        with pytest.raises(CampaignError, match="unknown injector"):
+            expand_jobs(spec, {"c17": c17})
+
+    def test_seed_changes_ids(self, c17):
+        a = expand_jobs(CampaignSpec(designs=(C17,), n_copies=2, seed=0),
+                        {"c17": c17})
+        b = expand_jobs(CampaignSpec(designs=(C17,), n_copies=2, seed=1),
+                        {"c17": c17})
+        assert {j.job_id for j in a}.isdisjoint({j.job_id for j in b})

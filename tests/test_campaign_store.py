@@ -1,0 +1,175 @@
+"""Tests for the SQLite job store (``repro.campaign.store``)."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignSpec,
+    Job,
+    JobStore,
+    SCHEMA_VERSION,
+)
+
+SPEC = CampaignSpec(designs=("x.blif",), n_copies=2)
+
+
+def make_jobs(n=3, kind="fingerprint"):
+    return [
+        Job(job_id=f"job{i:04d}", design="d", kind=kind,
+            params={"value": i}, seed=f"({i},)")
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with JobStore(str(tmp_path / "c.db")) as opened:
+        yield opened
+
+
+class TestSchema:
+    def test_wal_mode(self, store):
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_version_stamped(self, store):
+        row = store._conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'"
+        ).fetchone()
+        assert int(row[0]) == SCHEMA_VERSION
+
+    def test_version_mismatch_fails_loudly(self, tmp_path):
+        path = str(tmp_path / "old.db")
+        JobStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value='999' WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(CampaignError, match="schema"):
+            JobStore(path)
+
+    def test_reopen_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "twice.db")
+        JobStore(path).close()
+        with JobStore(path) as again:
+            assert again.counts() == {}
+
+
+class TestSpecBinding:
+    def test_bind_and_load(self, store):
+        assert store.load_spec() is None
+        store.bind_spec(SPEC)
+        assert store.load_spec() == SPEC
+
+    def test_rebind_same_is_noop(self, store):
+        store.bind_spec(SPEC)
+        store.bind_spec(SPEC)
+        assert store.load_spec() == SPEC
+
+    def test_rebind_different_fails(self, store):
+        store.bind_spec(SPEC)
+        other = CampaignSpec(designs=("y.blif",), n_copies=2)
+        with pytest.raises(CampaignError, match="different spec"):
+            store.bind_spec(other)
+
+
+class TestJobRows:
+    def test_insert_or_ignore(self, store):
+        jobs = make_jobs(3)
+        assert store.insert_jobs(jobs) == 3
+        assert store.insert_jobs(jobs) == 0  # resume: nothing re-inserted
+        assert store.counts() == {"pending": 3}
+
+    def test_result_roundtrip(self, store):
+        store.insert_jobs(make_jobs(1))
+        store.record_result("job0000", "done",
+                            verdict={"equivalent": True}, seconds=0.5, worker=42)
+        row = store.job("job0000")
+        assert row.status == "done"
+        assert row.terminal
+        assert row.verdict == {"equivalent": True}
+        assert row.seconds == 0.5
+
+    def test_attempt_and_crash_counters(self, store):
+        store.insert_jobs(make_jobs(1))
+        assert store.record_attempt("job0000") == 1
+        assert store.record_attempt("job0000") == 2
+        assert store.record_crash("job0000") == 1
+
+    def test_unknown_job_id(self, store):
+        with pytest.raises(CampaignError, match="unknown job"):
+            store.record_attempt("ghost")
+
+    def test_pending_ordered_by_id(self, store):
+        store.insert_jobs(list(reversed(make_jobs(3))))
+        ids = [row.job_id for row in store.pending_jobs()]
+        assert ids == sorted(ids)
+
+    def test_sweep_stale_running(self, store):
+        store.insert_jobs(make_jobs(2))
+        store.mark_running(["job0000"])
+        store.record_attempt("job0000")
+        assert store.counts() == {"running": 1, "pending": 1}
+        assert store.sweep_stale_running() == 1
+        assert store.counts() == {"pending": 2}
+        # the attempt counter survives the sweep
+        assert store.job("job0000").attempts == 1
+
+
+class TestOverwrite:
+    def _seed_states(self, store):
+        store.insert_jobs(make_jobs(3))
+        store.record_result("job0000", "done", verdict={"ok": True})
+        store.record_attempt("job0001")
+        store.record_result("job0001", "failed", error="boom",
+                            error_type="ValueError")
+        store.record_result("job0002", "faulty", error="crashed")
+
+    def test_none_keeps_everything(self, store):
+        self._seed_states(store)
+        assert store.apply_overwrite("none") == 0
+        assert store.counts() == {"done": 1, "failed": 1, "faulty": 1}
+
+    def test_failed_reopens_failures_only(self, store):
+        self._seed_states(store)
+        assert store.apply_overwrite("failed") == 2
+        assert store.counts() == {"done": 1, "pending": 2}
+        reopened = store.job("job0001")
+        assert reopened.attempts == 0
+        assert reopened.error is None
+
+    def test_all_reopens_everything(self, store):
+        self._seed_states(store)
+        assert store.apply_overwrite("all") == 3
+        assert store.counts() == {"pending": 3}
+        assert store.job("job0000").verdict is None
+
+    def test_unknown_policy(self, store):
+        with pytest.raises(CampaignError, match="overwrite"):
+            store.apply_overwrite("sometimes")
+
+
+class TestEvents:
+    def test_ledger(self, store):
+        store.insert_jobs(make_jobs(1))
+        store.record_event("job0000", "retry", "error: ValueError")
+        store.record_event("job0000", "crash", "worker died (#1)")
+        store.record_event("job0000", "retry", "timeout #1")
+        assert store.event_counts() == {"retry": 2, "crash": 1}
+        recent = store.events(limit=2)
+        assert len(recent) == 2
+        assert recent[0]["kind"] == "retry"  # newest first
+
+
+class TestConcurrentReader:
+    def test_second_connection_reads_mid_write(self, tmp_path):
+        """`campaign status` from another process must see committed rows."""
+        path = str(tmp_path / "wal.db")
+        with JobStore(path) as writer:
+            writer.insert_jobs(make_jobs(2))
+            with JobStore(path) as reader:
+                assert reader.counts() == {"pending": 2}

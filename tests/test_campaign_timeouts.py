@@ -1,0 +1,96 @@
+"""Tests for the portable per-job timeout helper (``repro.campaign.timeouts``)."""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.campaign.timeouts import (
+    JobTimeoutError,
+    _run_in_thread,
+    run_with_timeout,
+)
+from repro.errors import ReproError
+
+
+def spin(seconds):
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        time.sleep(0.005)
+    return "finished"
+
+
+class TestRunWithTimeout:
+    def test_fast_function_passes_through(self):
+        assert run_with_timeout(lambda: 42, 5.0) == 42
+
+    def test_no_cap_means_direct_call(self):
+        assert run_with_timeout(lambda: "x", None) == "x"
+        assert run_with_timeout(lambda: "x", 0) == "x"
+
+    def test_hung_function_times_out(self):
+        start = time.monotonic()
+        with pytest.raises(JobTimeoutError, match="wall-clock cap"):
+            run_with_timeout(lambda: spin(30.0), 0.2)
+        assert time.monotonic() - start < 5.0
+
+    def test_timeout_error_is_typed(self):
+        assert issubclass(JobTimeoutError, ReproError)
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            run_with_timeout(lambda: 1 // 0, 5.0)
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGALRM"),
+                        reason="needs SIGALRM")
+    def test_outer_itimer_rearmed(self):
+        """Nesting must not disarm a pre-existing timer (pytest-timeout)."""
+        fired = []
+
+        def outer(signum, frame):
+            fired.append(True)
+
+        previous = signal.signal(signal.SIGALRM, outer)
+        signal.setitimer(signal.ITIMER_REAL, 10.0)
+        try:
+            run_with_timeout(lambda: "ok", 1.0)
+            remaining, _ = signal.setitimer(signal.ITIMER_REAL, 0)
+            # the outer timer was re-armed with (roughly) its leftover time
+            assert 8.0 < remaining <= 10.0
+            assert not fired
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+class TestThreadFallback:
+    """The non-SIGALRM path, exercised directly and from a worker thread."""
+
+    def test_result_passes_through(self):
+        assert _run_in_thread(lambda: "done", 5.0) == "done"
+
+    def test_times_out(self):
+        with pytest.raises(JobTimeoutError, match="thread fallback"):
+            _run_in_thread(lambda: spin(30.0), 0.2)
+
+    def test_exception_propagates(self):
+        with pytest.raises(KeyError):
+            _run_in_thread(lambda: {}["missing"], 5.0)
+
+    def test_selected_off_main_thread(self):
+        """run_with_timeout must not try SIGALRM from a non-main thread."""
+        result = []
+
+        def from_thread():
+            try:
+                run_with_timeout(lambda: spin(30.0), 0.2)
+            except JobTimeoutError as exc:
+                result.append(str(exc))
+
+        worker = threading.Thread(target=from_thread)
+        worker.start()
+        worker.join(10.0)
+        assert result and "thread fallback" in result[0]

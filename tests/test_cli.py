@@ -248,3 +248,76 @@ class TestMeasureFull:
         assert main(["measure", golden_v, "--full"]) == 0
         out = capsys.readouterr().out
         assert "gate mix:" in out and "fingerprintability:" in out
+
+
+class TestCampaignCommand:
+    @pytest.fixture()
+    def c17_path(self):
+        from repro.bench.data import data_path
+
+        return data_path("c17.blif")
+
+    def test_run_status_resume_report(self, c17_path, tmp_path, capsys):
+        db = str(tmp_path / "c.db")
+        # interrupt after 2 of 4 jobs — a checkpointed run still exits 0
+        assert main(["campaign", "run", c17_path, "--db", db,
+                     "--copies", "4", "--max-jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "interrupted" in out
+
+        assert main(["campaign", "status", "--db", db]) == 0
+        assert "2/4 terminal" in capsys.readouterr().out
+
+        assert main(["campaign", "resume", "--db", db]) == 0
+        assert "done=4" in capsys.readouterr().out
+
+        out_dir = str(tmp_path / "rep")
+        assert main(["campaign", "report", "--db", db,
+                     "--out", out_dir]) == 0
+        assert os.path.exists(os.path.join(out_dir, "report.json"))
+        assert os.path.exists(os.path.join(out_dir, "report.html"))
+
+    def test_finished_campaign_rerun_is_noop(self, c17_path, tmp_path, capsys):
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "run", c17_path, "--db", db,
+                     "--copies", "2"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", c17_path, "--db", db,
+                     "--copies", "2"]) == 0
+        assert "0 executed" in capsys.readouterr().out
+
+    def test_json_envelope(self, c17_path, tmp_path, capsys):
+        import json
+
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "run", c17_path, "--db", db,
+                     "--copies", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "campaign"
+        assert payload["result"]["counts"] == {"done": 2}
+        assert payload["result"]["complete"] is True
+
+    def test_run_without_designs_errors(self, tmp_path):
+        db = str(tmp_path / "c.db")
+        with pytest.raises(SystemExit, match="needs at least one design"):
+            main(["campaign", "run", "--db", db])
+
+    def test_resume_with_designs_errors(self, tmp_path):
+        db = str(tmp_path / "c.db")
+        with pytest.raises(SystemExit, match="takes no designs"):
+            main(["campaign", "resume", "x.v", "--db", db])
+
+    def test_typed_error_exit_code(self, tmp_path, capsys):
+        db = str(tmp_path / "empty.db")
+        from repro.campaign import JobStore
+
+        JobStore(db).close()
+        assert main(["campaign", "resume", "--db", db]) == 3
+        assert "no campaign spec" in capsys.readouterr().err
+
+    def test_inject_kind(self, c17_path, tmp_path, capsys):
+        db = str(tmp_path / "i.db")
+        assert main(["campaign", "run", c17_path, "--db", db,
+                     "--kind", "inject", "--injectors", "StuckAtNet",
+                     "--trials", "2"]) == 0
+        assert "done=2" in capsys.readouterr().out

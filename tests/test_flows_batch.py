@@ -191,3 +191,44 @@ class TestBatchTelemetry:
         run_batch_flow(wide_base, 2, FlowOptions(jobs=1, seed=2))
         assert telemetry.get_tracer().finished == []
         assert telemetry.get_registry().snapshot()["counters"] == {}
+
+
+class TestPoolBrokenSalvage:
+    """A dying worker pool must not lose completed copies (satellite of the
+    campaign engine: the batch flow degrades to serial instead)."""
+
+    @pytest.fixture()
+    def c17(self):
+        from repro.api import load_circuit
+        from repro.bench.data import data_path
+
+        return load_circuit(data_path("c17.blif"))
+
+    def test_crash_mid_batch_salvages_and_finishes(self, c17, monkeypatch):
+        from repro.fingerprint import FingerprintCodec, find_locations
+        from repro.flows import FlowOptions, run_batch_flow
+
+        codec = FingerprintCodec(find_locations(c17))
+        values = select_values(codec.combinations, 4, seed=0)
+        monkeypatch.setenv("REPRO_BATCH_CRASH_VALUE", str(values[-1]))
+        with pytest.warns(RuntimeWarning, match="pool died"):
+            broken = run_batch_flow(c17, 4, FlowOptions(jobs=2, seed=0))
+        assert broken.pool_broken is True
+        assert sorted(r.value for r in broken.records) == sorted(values)
+        assert broken.n_equivalent == 4
+        assert broken.as_dict()["pool_broken"] is True
+
+    def test_salvaged_verdicts_match_clean_run(self, c17, monkeypatch):
+        from repro.flows import FlowOptions, run_batch_flow
+
+        clean = run_batch_flow(c17, 4, FlowOptions(jobs=1, seed=0))
+        assert clean.pool_broken is False
+        monkeypatch.setenv(
+            "REPRO_BATCH_CRASH_VALUE", str(clean.records[0].value)
+        )
+        with pytest.warns(RuntimeWarning):
+            broken = run_batch_flow(c17, 4, FlowOptions(jobs=2, seed=0))
+        key = lambda result: sorted(
+            (r.value, r.equivalent, r.proven, r.tier) for r in result.records
+        )
+        assert key(broken) == key(clean)
