@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""CI smoke for the fingerprinting service (``repro-fp serve``).
+
+Starts the server as a subprocess on an ephemeral port with
+``--max-requests 2``, submits the bundled c17 netlist twice, and asserts
+the acceptance criterion of the artifact-store PR: the second,
+structurally identical submission is served warm (every artifact kind
+from the store, zero recomputation in its cache delta) with verdicts
+bit-identical to the cold run.  The server then drains and exits on its
+own; its whole-lifetime Chrome trace is left at ``service_smoke.trace``
+for upload.
+
+Usage: python scripts/service_smoke.py [--keep]
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+C17 = REPO_ROOT / "src" / "repro" / "bench" / "data" / "c17.blif"
+TRACE = REPO_ROOT / "service_smoke.trace"
+
+
+def verdicts(envelope: dict) -> list:
+    """Batch records with per-run timing stripped."""
+    return [
+        {key: value for key, value in record.items() if key != "seconds"}
+        for record in envelope["result"]["records"]
+    ]
+
+
+def main() -> int:
+    from repro.service import ServiceClient
+
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--max-requests", "2",
+            "--trace", str(TRACE),
+            "--metrics",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    port = None
+    try:
+        assert server.stdout is not None
+        for line in server.stdout:
+            print(f"[serve] {line.rstrip()}")
+            match = re.search(r"http://[\d.]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            print("FAIL: server never announced its port")
+            return 1
+
+        client = ServiceClient(port=port)
+        text = C17.read_text()
+        cold = client.run("batch", design=text, format="blif",
+                          n_copies=2, options={"seed": 2015})
+        warm = client.run("batch", design=text, format="blif",
+                          n_copies=2, options={"seed": 2015})
+
+        print(f"cold: misses={cold['cache']['misses']} "
+              f"hits={cold['cache']['hits']}")
+        print(f"warm: misses={warm['cache']['misses']} "
+              f"hits={warm['cache']['hits']} warm={warm['cache']['warm']}")
+
+        assert cold["ok"] and warm["ok"]
+        assert cold["cache"]["misses"] > 0, "cold run should populate the store"
+        assert warm["cache"]["misses"] == 0, "warm run recomputed artifacts"
+        assert all(warm["cache"]["warm"].values()), warm["cache"]["warm"]
+        counters = warm["telemetry"]["metrics"]["counters"]
+        assert counters.get("ir.compile", 0) == 0, counters
+        assert verdicts(cold) == verdicts(warm), "verdicts diverged"
+        assert all(record["equivalent"] for record in verdicts(cold))
+
+        returncode = server.wait(timeout=60)
+        if returncode != 0:
+            print(f"FAIL: server exited {returncode}")
+            return 1
+        trace = json.loads(TRACE.read_text())
+        assert trace["traceEvents"], "empty service trace"
+        print(f"service trace: {len(trace['traceEvents'])} events "
+              f"at {TRACE}")
+        print("SERVICE SMOKE PASS")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

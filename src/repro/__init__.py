@@ -42,7 +42,7 @@ from .api import (
     verify,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchResult",

@@ -235,6 +235,39 @@ def campaign_report(db_path: str, out_dir: Optional[str] = None) -> Dict[str, ob
     return build_report(db_path)
 
 
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    store_dir: Optional[str] = None,
+    memory_entries: int = 128,
+    default_quota=None,
+    quotas=None,
+    trace_path: Optional[str] = None,
+):
+    """Build the long-running fingerprinting HTTP service (not yet started).
+
+    Returns a :class:`repro.service.Server` wired to a content-addressed
+    artifact store (disk tier at ``store_dir``, or memory-only).  Start
+    it with :meth:`~repro.service.Server.run` (blocking),
+    :meth:`~repro.service.Server.run_async` (inside an event loop), or
+    :meth:`~repro.service.Server.start_in_thread` (embedding/tests).
+    Submissions speak JSON over HTTP and come back in the same envelope
+    the CLI emits; see :mod:`repro.service` for the endpoint reference.
+    """
+    from .service.server import serve as _serve
+
+    return _serve(
+        host=host,
+        port=port,
+        store_dir=store_dir,
+        memory_entries=memory_entries,
+        default_quota=default_quota,
+        quotas=quotas,
+        trace_path=trace_path,
+    )
+
+
 def save_circuit(circuit: Circuit, path: str) -> None:
     """Write a circuit by extension (``.v`` structural Verilog, ``.blif``)."""
     if path.endswith(".v"):
@@ -264,5 +297,6 @@ __all__ = [
     "load_circuit",
     "locate",
     "save_circuit",
+    "serve",
     "verify",
 ]

@@ -52,7 +52,16 @@ def set_context(
     ladder: Optional[LadderConfig],
     measure_overheads: bool,
 ) -> None:
-    """Install the campaign context in this process (serial or worker)."""
+    """Install the campaign context in this process (serial or worker).
+
+    Also activates the artifact store when ``REPRO_STORE_DIR`` is set, so
+    every job of a campaign (and every campaign sharing that directory)
+    reuses the per-design compiled IR, base CNF, location catalog and
+    warm CEC session instead of rebuilding them per process.
+    """
+    from ..store import ensure_default_store
+
+    ensure_default_store()
     _CONTEXT.clear()
     _CONTEXT.update(
         designs=designs,

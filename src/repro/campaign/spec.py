@@ -26,11 +26,11 @@ Job kinds:
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import hashing
 from ..errors import ReproError
 from ..netlist.circuit import Circuit
 
@@ -136,11 +136,13 @@ class CampaignSpec:
 
 
 def job_id_for(kind: str, design: str, params: Mapping[str, Any], seed: int) -> str:
-    """Stable 16-hex-char id for one job coordinate."""
-    key = "|".join(
-        (kind, design, json.dumps(dict(params), sort_keys=True), str(seed))
-    )
-    return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+    """Stable 16-hex-char id for one job coordinate.
+
+    Delegates to :func:`repro.hashing.job_id_for` (byte-compatible with
+    the historical inline form, pinned by test), so campaign ids share
+    the repo-wide content-hashing conventions.
+    """
+    return hashing.job_id_for(kind, design, params, seed)
 
 
 def resolve_design(source: str, db_verilog: Optional[Mapping[str, str]] = None) -> Circuit:

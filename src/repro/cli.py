@@ -79,7 +79,7 @@ def _say(args: argparse.Namespace, *lines: str) -> None:
     if getattr(args, "json", None) == "-":
         return
     for line in lines:
-        print(line)
+        print(line, flush=True)
 
 
 def _ladder_config(args: argparse.Namespace) -> LadderConfig:
@@ -142,6 +142,12 @@ def _add_common_options(p: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--metrics", action="store_true",
         help="record telemetry counters/histograms into the JSON envelope",
+    )
+    group.add_argument(
+        "--store", nargs="?", const="", default=None, metavar="DIR",
+        help="activate the content-addressed artifact store for this "
+        "invocation (disk tier at DIR; memory-only when no DIR is given); "
+        "the envelope gains a cache hit/miss section",
     )
 
 
@@ -466,6 +472,52 @@ def read_verilog_text(text: str) -> Circuit:
     return parse_verilog(text)
 
 
+def _cmd_serve(args: argparse.Namespace) -> CommandResult:
+    from .budget import Budget as _Budget
+    from .service import Server, TenantQuota
+    from .store.core import ArtifactStore
+
+    budget = None
+    if args.quota_budget_seconds is not None:
+        budget = _Budget(deadline_s=args.quota_budget_seconds)
+    quota = TenantQuota(max_pending=args.quota_max_pending, budget=budget)
+    store = ArtifactStore(
+        root=(getattr(args, "store", None) or None),
+        memory_entries=args.memory_entries,
+    )
+    # The service writes its own whole-lifetime trace on shutdown; keep
+    # main() from overwriting that file with this (empty) parent trace.
+    trace_path, args.trace = getattr(args, "trace", None), None
+    server = Server(
+        host=args.host,
+        port=args.port,
+        store=store,
+        default_quota=quota,
+        trace_path=trace_path,
+        max_requests=args.max_requests,
+    )
+    server.start_in_thread()
+    _say(args, f"repro-fp service on http://{args.host}:{server.port} "
+               f"(store={'disk:' + store.root if store.root else 'memory'}, "
+               f"Ctrl-C to stop)")
+    try:
+        while server._thread is not None and server._thread.is_alive():
+            server._thread.join(0.5)
+    except KeyboardInterrupt:
+        _say(args, "shutting down")
+    finally:
+        server.stop_thread()
+    stats = server.queue.stats() if server.queue is not None else {}
+    result: Dict[str, Any] = {
+        "host": args.host,
+        "port": server.port,
+        "store": store.root or "memory",
+        "cache": store.cache_snapshot(),
+        **stats,
+    }
+    return 0, result
+
+
 def _cmd_bench(args: argparse.Namespace) -> CommandResult:
     circuit = build_benchmark(args.name)
     depth = circuit.depth()
@@ -657,6 +709,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ladder_options(p)
     p.set_defaults(func=_cmd_campaign)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived fingerprinting HTTP/JSON service",
+        description="Start the asyncio HTTP server over the repro.api "
+        "facade: JSON submissions feed a multi-tenant queue, results come "
+        "back in the unified CLI envelope, progress streams as server-sent "
+        "events, and a content-addressed artifact store makes repeated "
+        "submissions of identical netlists pure lookups.  Use the shared "
+        "--store DIR option for a persistent disk tier and --trace FILE to "
+        "write one Chrome trace covering every served job on shutdown.",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port; 0 binds an ephemeral port (default: 8765)")
+    p.add_argument("--memory-entries", type=int, default=128, metavar="N",
+                   help="artifact-store memory-tier LRU bound (default: 128)")
+    p.add_argument("--quota-max-pending", type=int, default=8, metavar="N",
+                   help="per-tenant cap on queued+running jobs; exceeding "
+                   "it returns HTTP 429 (default: 8)")
+    p.add_argument("--quota-budget-seconds", type=float, default=None,
+                   metavar="S",
+                   help="per-tenant per-job SAT wall-clock budget forced "
+                   "onto every submission (default: unlimited)")
+    p.add_argument("--max-requests", type=int, default=None, metavar="N",
+                   help="shut down after serving N jobs (smoke/CI use)")
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("bench", help="emit a suite benchmark circuit")
     p.add_argument("name")
     p.add_argument("-o", "--output")
@@ -678,17 +758,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _envelope(command: str, result: Dict[str, Any], snapshot: Dict[str, Any]) -> str:
-    """Serialize the one JSON shape every subcommand emits."""
-    from . import __version__
+    """Serialize the one JSON shape every subcommand emits.
 
-    payload = {
-        "tool": "repro-fp",
-        "version": __version__,
-        "command": command,
-        "telemetry": snapshot,
-        "result": result,
-    }
-    return json.dumps(payload, indent=2, sort_keys=False, default=str)
+    Delegates to :mod:`repro.envelope` (shared with the HTTP service);
+    when an artifact store is active (``--store``), the envelope gains a
+    ``cache`` section with its hit/miss counters.
+    """
+    from .envelope import active_cache_section, render_envelope
+
+    return render_envelope(command, result, snapshot, active_cache_section())
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -706,6 +784,11 @@ def main(argv: Optional[list] = None) -> int:
         telemetry.enable(trace=True, metrics=False)
     if getattr(args, "metrics", False) or json_target is not None:
         telemetry.enable(trace=False, metrics=True)
+    store_root = getattr(args, "store", None)
+    if store_root is not None:
+        from .store import activate_store
+
+        activate_store(root=store_root or None)
 
     try:
         try:
@@ -715,6 +798,11 @@ def main(argv: Optional[list] = None) -> int:
             code, result = 3, {"error": exc.diagnostic()}
         spans = telemetry.get_tracer().drain()
         snapshot = telemetry.telemetry_snapshot(spans)
+        # A command may take trace-file ownership by clearing args.trace
+        # (``serve`` writes its own whole-lifetime trace on shutdown;
+        # overwriting it here with the parent's empty span list would
+        # destroy it).
+        trace_path = getattr(args, "trace", None)
         if trace_path:
             n_events = telemetry.write_chrome_trace(trace_path, spans)
             _say(args, f"wrote {trace_path} ({n_events} events)")
@@ -728,6 +816,10 @@ def main(argv: Optional[list] = None) -> int:
                 _say(args, f"wrote {json_target}")
         return code
     finally:
+        if store_root is not None:
+            from .store import deactivate_store
+
+            deactivate_store()
         telemetry.disable()
         telemetry.get_tracer().reset()
         telemetry.get_registry().reset()

@@ -1,0 +1,123 @@
+"""The unified result envelope shared by the CLI and the service.
+
+Every surface of the system answers in one JSON shape::
+
+    {
+      "tool": "repro-fp",
+      "version": "<package version>",
+      "command": "<subcommand or service command>",
+      "telemetry": {"spans": ..., "metrics": ...},
+      "cache": {"hits": ..., "misses": ..., ...},   # when a store is active
+      "result": {...}
+    }
+
+The CLI has emitted the first five keys since PR 4; this module promotes
+the construction out of :mod:`repro.cli` so the HTTP service
+(:mod:`repro.service`) speaks byte-for-byte the same envelope, and adds
+the ``cache`` section: the active artifact store's hit/miss counters,
+either cumulative (:func:`cache_section`) or as a before/after delta
+scoped to one command (:func:`cache_delta` — what the service reports
+per job, so a client can see that its *own* submission was served warm).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Artifact kinds whose warm/cold state the envelope summarizes.
+_KINDS = ("ir", "cnf", "catalog", "session")
+
+
+def cache_section(snapshot: Dict[str, int]) -> Dict[str, Any]:
+    """Shape one store counter snapshot into the envelope ``cache`` block.
+
+    Adds a ``warm`` sub-dict: per artifact kind, ``True`` when the window
+    covered by ``snapshot`` recomputed nothing of that kind (zero misses)
+    while the run as a whole was served from the store (at least one hit).
+    Zero lookups of a kind still count as warm — on a fully-warm
+    resubmission the cached session/catalog short-circuit the producers,
+    so e.g. ``encode_circuit`` is never reached and the ``cnf`` kind sees
+    no traffic at all.  A warm resubmission therefore shows
+    ``warm.ir/cnf/catalog/session`` all true, which is what the CI smoke
+    and the store benchmark assert.
+    """
+    hits = snapshot.get("hit.memory", 0) + snapshot.get("hit.disk", 0)
+    misses = snapshot.get("miss", 0)
+    warm = {}
+    for kind in _KINDS:
+        warm[kind] = hits > 0 and snapshot.get(f"miss.{kind}", 0) == 0
+    section: Dict[str, Any] = {"hits": hits, "misses": misses, "warm": warm}
+    section["counters"] = {
+        key: value for key, value in sorted(snapshot.items()) if value
+    }
+    return section
+
+
+def cache_delta(
+    before: Dict[str, int], after: Dict[str, int]
+) -> Dict[str, Any]:
+    """``cache_section`` over the counter growth between two snapshots."""
+    delta = {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in set(before) | set(after)
+        if key != "entries"
+    }
+    delta = {key: value for key, value in delta.items() if value > 0}
+    delta["entries"] = after.get("entries", 0)
+    return cache_section(delta)
+
+
+def active_cache_section() -> Optional[Dict[str, Any]]:
+    """``cache`` block of the process's active store, or ``None``."""
+    from .store.core import active_store
+
+    store = active_store()
+    if store is None:
+        return None
+    return cache_section(store.cache_snapshot())
+
+
+def build_envelope(
+    command: str,
+    result: Dict[str, Any],
+    telemetry_snapshot: Dict[str, Any],
+    cache: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The envelope as a dict (key order is part of the shape)."""
+    from . import __version__
+
+    payload: Dict[str, Any] = {
+        "tool": "repro-fp",
+        "version": __version__,
+        "command": command,
+        "telemetry": telemetry_snapshot,
+    }
+    if cache is not None:
+        payload["cache"] = cache
+    payload["result"] = result
+    return payload
+
+
+def render_envelope(
+    command: str,
+    result: Dict[str, Any],
+    telemetry_snapshot: Dict[str, Any],
+    cache: Optional[Dict[str, Any]] = None,
+) -> str:
+    """The envelope serialized exactly as the CLI writes it."""
+    return json.dumps(
+        build_envelope(command, result, telemetry_snapshot, cache),
+        indent=2,
+        sort_keys=False,
+        default=str,
+    )
+
+
+__all__ = [
+    "active_cache_section",
+    "build_envelope",
+    "cache_delta",
+    "cache_section",
+    "render_envelope",
+]

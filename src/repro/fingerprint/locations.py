@@ -150,7 +150,35 @@ def find_locations(
 
     Each gate is used as a slot target at most once across the catalog, so
     every slot can be toggled independently of all others.
+
+    With an artifact store active (:func:`repro.store.active_store`) the
+    catalog is content-addressed by the circuit's canonical structural
+    digest plus a digest of the finder options, so resubmitting an
+    identical netlist skips the whole discovery-and-ODC-validation pass
+    (disk-tier cacheable: catalogs are plain picklable dataclasses).
     """
+    from ..store.core import active_store
+
+    store = active_store()
+    if store is not None:
+        from dataclasses import asdict
+
+        from ..hashing import circuit_digest, options_digest
+
+        key = "{}-{}".format(
+            circuit_digest(circuit),
+            options_digest(asdict(options or FinderOptions())),
+        )
+        return store.get_or_compute(
+            "catalog", key, lambda: _traced_find(circuit, options)
+        )
+    return _traced_find(circuit, options)
+
+
+def _traced_find(
+    circuit: Circuit,
+    options: Optional[FinderOptions],
+) -> LocationCatalog:
     with telemetry.span(
         "fingerprint.locate", design=circuit.name, gates=circuit.n_gates
     ) as locate_span:

@@ -36,7 +36,7 @@ from ..fingerprint.capacity import FingerprintCodec
 from ..fingerprint.embed import embed
 from ..fingerprint.locations import FinderOptions, find_locations
 from ..netlist.circuit import Circuit
-from ..sat.incremental import IncrementalCecSession
+from ..store import warm_session
 from ..telemetry.metrics import safe_rate
 from .ladder import LadderConfig, run_ladder
 from .options import FlowOptions
@@ -172,14 +172,24 @@ def build_worker_state(
     session, optional overhead baseline) and reused for every value.
     Shared with the persistent campaign engine
     (:mod:`repro.campaign.jobs`), which runs the same loop job-by-job
-    against a result database.
+    against a result database, and with the service layer
+    (:mod:`repro.service`), whose submissions resolve through the
+    artifact store: with a store active, the session/catalog here are
+    content-addressed lookups, so a resubmitted netlist skips IR
+    compilation, base-CNF encoding, catalog discovery, and session
+    warm-up entirely.  The state's ``base`` is the session's own base
+    object (the ladder identity-checks ``session.base``), which for a
+    cache hit is the previously submitted structurally identical
+    circuit.
     """
+    session = warm_session(base)
+    base = session.base
     catalog = find_locations(base, options)
     return {
         "base": base,
         "catalog": catalog,
         "codec": FingerprintCodec(catalog),
-        "session": IncrementalCecSession(base),
+        "session": session,
         "ladder": ladder,
         "baseline": measure(base) if measure_overheads else None,
     }
@@ -203,6 +213,9 @@ def _init_worker(
     telemetry.get_registry().reset()
     if trace_on or metrics_on:
         telemetry.enable(trace=trace_on, metrics=metrics_on)
+    from ..store import ensure_default_store
+
+    ensure_default_store()
     _WORKER.clear()
     _WORKER.update(build_worker_state(base, options, ladder, measure_overheads))
 

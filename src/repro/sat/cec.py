@@ -15,16 +15,15 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..budget import Budget
+
+# Canonical commutativity set now lives with the other content-hashing
+# conventions; re-exported here for the pre-refactor import path.
+from ..hashing import COMMUTATIVE_KINDS  # noqa: F401 - re-export
 from ..ir import compile_circuit
 from ..netlist.circuit import Circuit
 from ..sim.equivalence import PortMismatchError
 from .solver import CdclSolver, SolverStats
 from .tseitin import CircuitEncoding, _encode_xor2, encode_circuit
-
-#: Gate kinds whose function is invariant under fanin permutation; their
-#: structural-hash keys sort the fanin classes so e.g. AND(a, b) and
-#: AND(b, a) hash identically.
-COMMUTATIVE_KINDS = frozenset({"AND", "NAND", "OR", "NOR", "XOR", "XNOR"})
 
 
 class CecVerdict(enum.Enum):

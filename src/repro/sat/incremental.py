@@ -51,7 +51,8 @@ from ..netlist.circuit import Circuit
 from ..sim.equivalence import PortMismatchError
 from ..sim.simulator import Simulator
 from ..sim.vectors import WORD_BITS, random_stimulus, vector_of
-from .cec import COMMUTATIVE_KINDS, CecResult, CecVerdict
+from ..hashing import gate_key
+from .cec import CecResult, CecVerdict
 from .solver import CdclSolver
 from .tseitin import _encode, encode_circuit
 
@@ -144,11 +145,9 @@ class IncrementalCecSession:
                 net: matrix[compiled.id_of(net)].copy() for net in base.outputs
             }
 
-    @staticmethod
-    def _key(kind: str, in_vars: Sequence[int]) -> Tuple:
-        if kind in COMMUTATIVE_KINDS:
-            return (kind, tuple(sorted(in_vars)))
-        return (kind, tuple(in_vars))
+    # Canonical structural key (commutative fanins sorted), promoted to
+    # repro.hashing so the artifact store and campaign ids share it.
+    _key = staticmethod(gate_key)
 
     def _snapshot(
         self,

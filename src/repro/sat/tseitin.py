@@ -115,10 +115,38 @@ def encode_circuit(
     net-to-variable map regardless of gate-encoding order, and two
     encodings of structurally identical circuits are variable-for-variable
     comparable.
+
+    The *bare* form (no caller-supplied encoding, prefix, or shared
+    nets) is content-addressed when an artifact store is active: a
+    structurally identical resubmission returns the cached
+    :class:`CircuitEncoding`.  Bare-form results are shared read-only by
+    convention — every existing consumer copies ``var_of`` and feeds
+    ``cnf`` to a solver that copies the clauses; callers that want to
+    extend an encoding in place must pass their own ``encoding``.
     """
+    if encoding is None and not prefix and not shared_nets:
+        from ..store.core import active_store
+
+        store = active_store()
+        if store is not None:
+            from ..hashing import circuit_digest
+
+            return store.get_or_compute(
+                "cnf",
+                circuit_digest(circuit),
+                lambda: _encode_whole(circuit, CircuitEncoding(), "", set()),
+            )
     if encoding is None:
         encoding = CircuitEncoding()
-    shared = set(shared_nets)
+    return _encode_whole(circuit, encoding, prefix, set(shared_nets))
+
+
+def _encode_whole(
+    circuit: Circuit,
+    encoding: CircuitEncoding,
+    prefix: str,
+    shared: set,
+) -> CircuitEncoding:
     compiled = compile_circuit(circuit)
 
     def net_var(net: str) -> int:

@@ -1,0 +1,42 @@
+"""Fingerprinting-as-a-service: the async HTTP layer over ``repro.api``.
+
+::
+
+    from repro.service import Server, ServiceClient, TenantQuota
+
+    server = Server(port=0).start_in_thread()       # or repro-fp serve
+    client = ServiceClient(port=server.port)
+    envelope = client.run("batch", design=text, format="verilog")
+    server.stop_thread()
+
+See :mod:`repro.service.server` for the endpoint reference and the
+threading model, :mod:`repro.service.queue` for tenancy/quotas, and
+:mod:`repro.service.jobs` for the command set.
+"""
+
+from .client import ServiceClient, ServiceHttpError
+from .jobs import SERVICE_COMMANDS, run_service_job
+from .queue import (
+    JobQueue,
+    QuotaExceededError,
+    ServiceError,
+    ServiceJob,
+    TenantQuota,
+    UnknownJobError,
+)
+from .server import Server, serve
+
+__all__ = [
+    "JobQueue",
+    "QuotaExceededError",
+    "SERVICE_COMMANDS",
+    "Server",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHttpError",
+    "ServiceJob",
+    "TenantQuota",
+    "UnknownJobError",
+    "run_service_job",
+    "serve",
+]

@@ -1,0 +1,138 @@
+"""Minimal stdlib client for the fingerprinting service.
+
+Wraps ``http.client`` so tests, the smoke script, and the store
+benchmark can talk to a running :class:`~repro.service.server.Server`
+without any HTTP dependency::
+
+    client = ServiceClient("127.0.0.1", port)
+    submitted = client.submit("batch", design=c17_verilog,
+                              format="verilog", n_copies=4)
+    envelope = client.wait(submitted["job_id"])
+    assert envelope["cache"]["warm"]["catalog"]
+
+Every method raises :class:`ServiceHttpError` on a non-2xx response,
+with the decoded error payload attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Dict, Iterator, Optional
+
+
+class ServiceHttpError(RuntimeError):
+    """A non-2xx service response (status + decoded body)."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking JSON client for one service endpoint (see module doc)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        ok: tuple = (200, 202),
+    ) -> Any:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read().decode("utf-8")
+            decoded = json.loads(raw) if raw else None
+            if response.status not in ok:
+                raise ServiceHttpError(response.status, decoded)
+            return decoded
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(self, command: str, **payload: Any) -> Dict[str, Any]:
+        """POST a job; returns the 202 body (``job_id``, ``stream`` …)."""
+        payload["command"] = command
+        return self._request("POST", "/jobs", body=payload)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_s: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its result envelope.
+
+        Raises :class:`ServiceHttpError` (status 500) when the job
+        failed, with the error envelope as the payload.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["status"] == "done":
+                return status["envelope"]
+            if status["status"] == "failed":
+                raise ServiceHttpError(500, status.get("envelope") or status)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {status['status']!r} "
+                                   f"after {timeout}s")
+            time.sleep(poll_s)
+
+    def run(self, command: str, **payload: Any) -> Dict[str, Any]:
+        """Submit and wait — one warm/cold submission round trip."""
+        submitted = self.submit(command, **payload)
+        return self.wait(submitted["job_id"])
+
+    def events(self, job_id: str, timeout: float = 300.0
+               ) -> Iterator[Dict[str, Any]]:
+        """Stream the job's server-sent events until its result frame.
+
+        Yields ``{"event": <name>, "data": <decoded JSON>}`` dicts,
+        ending with (and including) the ``result`` event.
+        """
+        connection = HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read().decode("utf-8")
+                raise ServiceHttpError(
+                    response.status, json.loads(raw) if raw else None
+                )
+            event: Dict[str, Any] = {}
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\n")
+                if line.startswith("event: "):
+                    event["event"] = line[len("event: "):]
+                elif line.startswith("data: "):
+                    event["data"] = json.loads(line[len("data: "):])
+                elif not line and event:
+                    yield dict(event)
+                    if event.get("event") == "result":
+                        return
+                    event = {}
+        finally:
+            connection.close()
+
+
+__all__ = ["ServiceClient", "ServiceHttpError"]

@@ -1,0 +1,260 @@
+"""Multi-tenant submission queue for the fingerprinting service.
+
+One :class:`JobQueue` sits between the HTTP front end and the single
+execution worker: submissions append :class:`ServiceJob` rows, the
+worker consumes them FIFO, and every state change is published to the
+job's subscribers (the server-sent-event streams).  Tenancy is quota
+enforcement only — a :class:`TenantQuota` bounds how many jobs a tenant
+may have in flight (queued + running) and optionally caps each job's SAT
+effort with a :class:`repro.budget.Budget`, which the executor threads
+into the verification ladder.  Exceeding the pending bound raises
+:class:`QuotaExceededError`, which the server maps to HTTP 429.
+
+The queue is owned by the asyncio event loop thread; the execution
+worker reports completions back through
+``loop.call_soon_threadsafe`` (see :class:`repro.service.server.Server`),
+so all mutation happens on the loop thread and no locking is needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .. import telemetry
+from ..budget import Budget
+from ..errors import ReproError
+from ..hashing import content_digest
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for service-layer failures."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant tried to exceed its pending-job quota (HTTP 429)."""
+
+
+class UnknownJobError(ServiceError):
+    """A job id that is not (or no longer) known to the queue (HTTP 404)."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits.
+
+    Args:
+        max_pending: Most jobs the tenant may have queued or running at
+            once; further submissions are rejected with 429 until one
+            finishes.
+        budget: Optional per-job SAT budget (deadline / conflict /
+            decision caps) forced onto every job the tenant submits —
+            the mechanism that keeps one tenant's pathological miter
+            from starving the worker.
+    """
+
+    max_pending: int = 8
+    budget: Optional[Budget] = None
+
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class ServiceJob:
+    """One submitted unit of work and everything observed about it."""
+
+    job_id: str
+    tenant: str
+    command: str
+    payload: Dict[str, Any]
+    status: str = "queued"
+    envelope: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    #: A client has seen this job's terminal state (poll or SSE).  The
+    #: ``max_requests`` auto-shutdown drains on this so the final job's
+    #: envelope is not torn away from a still-polling client.
+    collected: bool = False
+    #: Live event subscribers (asyncio queues drained by SSE handlers).
+    subscribers: List["asyncio.Queue"] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in ("done", "failed")
+
+    def describe(self) -> Dict[str, Any]:
+        """Status view (everything but the result envelope)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "command": self.command,
+            "status": self.status,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """FIFO job queue with per-tenant pending quotas (see module docstring)."""
+
+    def __init__(
+        self,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+    ) -> None:
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self._jobs: Dict[str, ServiceJob] = {}
+        self._ready: "asyncio.Queue[ServiceJob]" = asyncio.Queue()
+        self._serial = 0
+        self.counters: Dict[str, int] = {
+            "submitted": 0, "rejected": 0, "done": 0, "failed": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def pending(self, tenant: Optional[str] = None) -> int:
+        """Jobs queued or running, for one tenant or overall."""
+        return sum(
+            1
+            for job in self._jobs.values()
+            if not job.terminal and (tenant is None or job.tenant == tenant)
+        )
+
+    def depth(self) -> int:
+        """Jobs waiting to start (the queue-depth gauge)."""
+        return sum(1 for job in self._jobs.values() if job.status == "queued")
+
+    def submit(
+        self, command: str, payload: Dict[str, Any], tenant: str = "anonymous"
+    ) -> ServiceJob:
+        """Append a job, enforcing the tenant's pending quota."""
+        quota = self.quota_for(tenant)
+        if self.pending(tenant) >= quota.max_pending:
+            self.counters["rejected"] += 1
+            telemetry.count("service.rejected")
+            raise QuotaExceededError(
+                f"tenant {tenant!r} already has {quota.max_pending} "
+                "jobs pending",
+                stage="service",
+            )
+        self._serial += 1
+        job_id = "{}-{}".format(
+            self._serial,
+            content_digest(tenant, command, repr(sorted(payload.items()))),
+        )
+        job = ServiceJob(job_id=job_id, tenant=tenant, command=command,
+                         payload=payload)
+        self._jobs[job_id] = job
+        self._ready.put_nowait(job)
+        self.counters["submitted"] += 1
+        telemetry.count("service.submitted")
+        telemetry.gauge("service.queue_depth", self.depth())
+        self.publish(job, {"event": "status", "data": job.describe()})
+        return job
+
+    async def next_job(self) -> ServiceJob:
+        """Await the next queued job (loop thread only)."""
+        return await self._ready.get()
+
+    def get(self, job_id: str) -> ServiceJob:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(
+                f"unknown job id {job_id!r}", stage="service"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # state transitions (loop thread only)
+    # ------------------------------------------------------------------ #
+
+    def mark_running(self, job: ServiceJob) -> None:
+        job.status = "running"
+        job.started = time.time()
+        telemetry.gauge("service.queue_depth", self.depth())
+        self.publish(job, {"event": "status", "data": job.describe()})
+
+    def mark_done(self, job: ServiceJob, envelope: Dict[str, Any]) -> None:
+        job.status = "done"
+        job.finished = time.time()
+        job.envelope = envelope
+        self.counters["done"] += 1
+        telemetry.count("service.done")
+        self._finish(job)
+
+    def mark_failed(self, job: ServiceJob, error: str) -> None:
+        job.status = "failed"
+        job.finished = time.time()
+        job.error = error
+        self.counters["failed"] += 1
+        telemetry.count("service.failed")
+        self._finish(job)
+
+    def _finish(self, job: ServiceJob) -> None:
+        payload = job.describe()
+        if job.envelope is not None:
+            payload["envelope"] = job.envelope
+        self.publish(job, {"event": "result", "data": payload})
+        # Poison-pill the streams: a None wakes every subscriber so the
+        # SSE handler can close its response cleanly.
+        for subscriber in list(job.subscribers):
+            subscriber.put_nowait(None)
+
+    # ------------------------------------------------------------------ #
+    # event streaming
+    # ------------------------------------------------------------------ #
+
+    def subscribe(self, job: ServiceJob) -> "asyncio.Queue":
+        subscriber: "asyncio.Queue" = asyncio.Queue()
+        job.subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, job: ServiceJob, subscriber: "asyncio.Queue") -> None:
+        try:
+            job.subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def publish(self, job: ServiceJob, event: Dict[str, Any]) -> None:
+        for subscriber in list(job.subscribers):
+            subscriber.put_nowait(event)
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue-level statistics (the ``/stats`` endpoint's core)."""
+        by_status: Dict[str, int] = {state: 0 for state in JOB_STATES}
+        by_tenant: Dict[str, int] = {}
+        for job in self._jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+            if not job.terminal:
+                by_tenant[job.tenant] = by_tenant.get(job.tenant, 0) + 1
+        return {
+            "jobs": dict(self.counters),
+            "by_status": by_status,
+            "pending_by_tenant": by_tenant,
+            "queue_depth": self.depth(),
+        }
+
+
+__all__ = [
+    "JOB_STATES",
+    "JobQueue",
+    "QuotaExceededError",
+    "ServiceError",
+    "ServiceJob",
+    "TenantQuota",
+    "UnknownJobError",
+]

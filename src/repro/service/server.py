@@ -1,0 +1,528 @@
+"""Asyncio HTTP/JSON fingerprinting service (zero new dependencies).
+
+One :class:`Server` owns four moving parts:
+
+* an ``asyncio.start_server`` HTTP/1.1 front end (hand-rolled request
+  parsing — the stdlib ships no async HTTP server, and the repo takes no
+  third-party dependencies);
+* the multi-tenant :class:`~repro.service.queue.JobQueue`;
+* a **single execution worker thread** that drains the queue through
+  :func:`~repro.service.jobs.run_service_job`.  One thread, not a pool:
+  the telemetry tracer and the warm CEC sessions in the artifact store
+  are process-global and not thread-safe, so the service serializes job
+  *execution* and gets its parallelism inside a job (``options.jobs``
+  fans a batch across the ``flows/batch`` process pool) — plus, of
+  course, from the artifact store making repeat work disappear;
+* a process-wide :class:`~repro.store.ArtifactStore`, activated at
+  startup, so every submission of a structurally identical netlist
+  reuses the compiled IR, base CNF, location catalog and warm
+  incremental session of the first.
+
+Endpoints (all JSON; responses use the CLI envelope where a command ran):
+
+====== ======================= ===========================================
+GET    ``/health``             liveness + version
+GET    ``/stats``              queue, tenant, store and uptime statistics
+POST   ``/jobs``               submit ``{"command", "design", ...}`` → 202
+GET    ``/jobs/<id>``          status, plus the envelope once terminal
+GET    ``/jobs/<id>/events``   server-sent events: live spans → result
+POST   ``/shutdown``           graceful stop (used by tests/smoke)
+====== ======================= ===========================================
+
+Progress streaming: the server subscribes a listener to the telemetry
+tracer; every span finished by the running job is forwarded over
+``loop.call_soon_threadsafe`` into the job's SSE subscriber queues as an
+``event: span`` frame, followed by a final ``event: result`` frame
+carrying the full envelope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from .. import telemetry
+from ..envelope import active_cache_section, build_envelope
+from ..errors import ReproError
+from ..store.core import ArtifactStore, activate_store, active_store
+from .jobs import SERVICE_COMMANDS, ServiceJobFailed, run_service_job
+from .queue import (
+    JobQueue,
+    QuotaExceededError,
+    ServiceJob,
+    TenantQuota,
+    UnknownJobError,
+)
+
+#: Submissions larger than this are rejected (413) before body read.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class Server:
+    """The long-running fingerprinting service (see module docstring).
+
+    Args:
+        host/port: Bind address; port 0 binds an ephemeral port
+            (``self.port`` holds the real one after :meth:`start`).
+        store: Artifact store to activate for the process, or ``None``
+            to build a memory-only one.
+        default_quota: Quota applied to tenants without an explicit one.
+        quotas: Per-tenant overrides, keyed by tenant name.
+        trace_path: When set, spans of every job are accumulated and
+            written as one Chrome trace file on shutdown (and job
+            envelopes inline their span trees).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        store: Optional[ArtifactStore] = None,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        trace_path: Optional[str] = None,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.store = store
+        self.default_quota = default_quota
+        self.quotas = quotas
+        self.trace_path = trace_path
+        #: Shut down gracefully after this many completed jobs (CI use).
+        self.max_requests = max_requests
+        self.queue: Optional[JobQueue] = None
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._worker_task: Optional[asyncio.Task] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._current_job: Optional[ServiceJob] = None
+        self._span_payloads: list = []
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the socket, activate the store, start the worker."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.queue = JobQueue(self.default_quota, self.quotas)
+        if active_store() is None or self.store is not None:
+            activate_store(self.store)
+            self.store = active_store()
+        telemetry.enable(trace=bool(self.trace_path), metrics=True)
+        telemetry.get_tracer().add_listener(self._on_span)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        self._worker_task = asyncio.ensure_future(self._worker())
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` (or ``POST /shutdown``)."""
+        assert self._stop is not None
+        await self._stop.wait()
+        await self._shutdown_async()
+
+    async def run_async(self) -> None:
+        await self.start()
+        await self.serve_forever()
+
+    def run(self) -> None:
+        """Run the server on a fresh event loop until shut down."""
+        asyncio.run(self.run_async())
+
+    def shutdown(self) -> None:
+        """Request a graceful stop (safe from any thread, idempotent)."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed — server is down
+
+    async def _shutdown_async(self) -> None:
+        if self._worker_task is not None:
+            self._worker_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        telemetry.get_tracer().remove_listener(self._on_span)
+        if self.trace_path and self._span_payloads:
+            from ..telemetry import span_from_dict, write_chrome_trace
+
+            write_chrome_trace(
+                self.trace_path,
+                [span_from_dict(p) for p in self._span_payloads],
+            )
+
+    # -------------------- test/embedding helpers ---------------------- #
+
+    def start_in_thread(self, timeout: float = 30.0) -> "Server":
+        """Run the whole server on a daemon thread; returns when bound.
+
+        The embedding pattern behind the test suite and the smoke
+        script: the caller keeps its thread, talks HTTP to
+        ``self.port``, and finally calls :meth:`stop_thread`.
+        """
+        ready = threading.Event()
+
+        async def _main() -> None:
+            await self.start()
+            ready.set()
+            await self.serve_forever()
+
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(_main()), daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("service failed to start within timeout")
+        return self
+
+    def stop_thread(self, timeout: float = 30.0) -> None:
+        """Shut down a :meth:`start_in_thread` server and join its thread."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # ------------------------------------------------------------------ #
+    # execution worker
+    # ------------------------------------------------------------------ #
+
+    async def _worker(self) -> None:
+        assert self.queue is not None and self._loop is not None
+        while True:
+            job = await self.queue.next_job()
+            self.queue.mark_running(job)
+            self._current_job = job
+            budget = self.queue.quota_for(job.tenant).budget
+            try:
+                envelope = await self._loop.run_in_executor(
+                    self._executor,
+                    run_service_job,
+                    job.command,
+                    job.payload,
+                    budget,
+                    bool(self.trace_path),
+                )
+            except ServiceJobFailed as exc:
+                job.envelope = exc.envelope
+                self._collect_spans(exc.envelope)
+                self.queue.mark_failed(job, str(exc))
+            except Exception as exc:  # noqa: BLE001 - job must not kill worker
+                self.queue.mark_failed(
+                    job, f"{type(exc).__name__}: {exc}"
+                )
+            else:
+                self._collect_spans(envelope)
+                self.queue.mark_done(job, envelope)
+            finally:
+                self._current_job = None
+            served = self.queue.counters["done"] + self.queue.counters["failed"]
+            if self.max_requests is not None and served >= self.max_requests:
+                await self._drain_then_stop()
+                return
+
+    async def _drain_then_stop(self, grace_s: float = 10.0) -> None:
+        """Stop once every finished job's result has reached a client.
+
+        Closing the listening socket the instant the last job completes
+        would race the client still polling ``GET /jobs/<id>`` for its
+        envelope; wait (bounded by ``grace_s``) until each terminal job
+        has been collected at least once.
+        """
+        deadline = time.monotonic() + grace_s
+        while time.monotonic() < deadline:
+            uncollected = [
+                job
+                for job in self.queue._jobs.values()
+                if job.terminal and not job.collected
+            ]
+            if not uncollected:
+                break
+            await asyncio.sleep(0.05)
+        self._stop.set()
+
+    def _collect_spans(self, envelope: Dict[str, Any]) -> None:
+        if self.trace_path:
+            self._span_payloads.extend(
+                envelope.get("telemetry", {}).get("spans") or []
+            )
+
+    def _on_span(self, span) -> None:
+        """Tracer listener (runs on the worker thread mid-job)."""
+        job = self._current_job
+        if job is None or self._loop is None or not job.subscribers:
+            return
+        event = {
+            "event": "span",
+            "data": {
+                "name": span.name,
+                "duration": span.duration,
+                "attrs": dict(span.attrs),
+            },
+        }
+        self._loop.call_soon_threadsafe(self.queue.publish, job, event)
+
+    # ------------------------------------------------------------------ #
+    # HTTP front end
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, headers, body = request
+            await self._route(method, path, headers, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            return method, path, headers, b"__TOO_LARGE__"
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+    ) -> None:
+        body = json.dumps(payload, indent=2, default=str).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        assert self.queue is not None
+        if body == b"__TOO_LARGE__":
+            await self._respond(writer, 413, {"error": "request body too large"})
+            return
+        if path == "/health" and method == "GET":
+            from .. import __version__
+
+            await self._respond(writer, 200, {
+                "status": "ok",
+                "version": __version__,
+                "uptime_s": time.time() - (self.started_at or time.time()),
+            })
+            return
+        if path == "/stats" and method == "GET":
+            await self._respond(writer, 200, self._stats_envelope())
+            return
+        if path == "/jobs" and method == "POST":
+            await self._submit(headers, body, writer)
+            return
+        if path == "/shutdown" and method == "POST":
+            await self._respond(writer, 200, {"status": "stopping"})
+            self._stop.set()
+            return
+        if path.startswith("/jobs/") and method == "GET":
+            job_id, _, tail = path[len("/jobs/"):].partition("/")
+            try:
+                job = self.queue.get(job_id)
+            except UnknownJobError as exc:
+                await self._respond(writer, 404, {"error": str(exc)})
+                return
+            if tail == "events":
+                await self._stream_events(job, writer)
+            elif tail == "":
+                payload = job.describe()
+                if job.envelope is not None:
+                    payload["envelope"] = job.envelope
+                await self._respond(writer, 200, payload)
+                if job.terminal:
+                    job.collected = True
+            else:
+                await self._respond(writer, 404, {"error": f"no route {path!r}"})
+            return
+        await self._respond(
+            writer,
+            405 if path in ("/jobs", "/health", "/stats", "/shutdown") else 404,
+            {"error": f"no route for {method} {path}"},
+        )
+
+    def _stats_envelope(self) -> Dict[str, Any]:
+        result: Dict[str, Any] = {
+            "uptime_s": time.time() - (self.started_at or time.time()),
+            "commands": list(SERVICE_COMMANDS),
+            **self.queue.stats(),
+        }
+        return build_envelope(
+            "stats",
+            result,
+            telemetry.telemetry_snapshot([]),
+            active_cache_section(),
+        )
+
+    async def _submit(
+        self, headers: Dict[str, str], body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await self._respond(writer, 400, {"error": f"bad JSON body: {exc}"})
+            return
+        if not isinstance(payload, dict):
+            await self._respond(writer, 400, {"error": "body must be an object"})
+            return
+        command = payload.get("command")
+        if command not in SERVICE_COMMANDS:
+            await self._respond(writer, 400, {
+                "error": f"unknown command {command!r}",
+                "commands": list(SERVICE_COMMANDS),
+            })
+            return
+        tenant = str(
+            payload.get("tenant") or headers.get("x-tenant") or "anonymous"
+        )
+        try:
+            job = self.queue.submit(command, payload, tenant)
+        except QuotaExceededError as exc:
+            await self._respond(writer, 429, {"error": str(exc)})
+            return
+        except ReproError as exc:
+            await self._respond(writer, 400, {"error": exc.diagnostic()})
+            return
+        await self._respond(writer, 202, {
+            "job_id": job.job_id,
+            "status": job.status,
+            "tenant": tenant,
+            "poll": f"/jobs/{job.job_id}",
+            "stream": f"/jobs/{job.job_id}/events",
+        })
+
+    async def _stream_events(
+        self, job: ServiceJob, writer: asyncio.StreamWriter
+    ) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+
+        def frame(event: Dict[str, Any]) -> bytes:
+            data = json.dumps(event["data"], default=str)
+            return f"event: {event['event']}\ndata: {data}\n\n".encode("utf-8")
+
+        if job.terminal:
+            payload = job.describe()
+            if job.envelope is not None:
+                payload["envelope"] = job.envelope
+            writer.write(frame({"event": "result", "data": payload}))
+            await writer.drain()
+            job.collected = True
+            return
+        subscriber = self.queue.subscribe(job)
+        try:
+            writer.write(frame({"event": "status", "data": job.describe()}))
+            await writer.drain()
+            while True:
+                event = await subscriber.get()
+                if event is None:
+                    break
+                writer.write(frame(event))
+                await writer.drain()
+                if event.get("event") == "result":
+                    job.collected = True
+                    break
+        finally:
+            self.queue.unsubscribe(job, subscriber)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    store_dir: Optional[str] = None,
+    memory_entries: int = 128,
+    default_quota: Optional[TenantQuota] = None,
+    quotas: Optional[Dict[str, TenantQuota]] = None,
+    trace_path: Optional[str] = None,
+) -> Server:
+    """Build a :class:`Server` with a store rooted at ``store_dir``.
+
+    Does not start it — call :meth:`Server.run` (blocking),
+    :meth:`Server.run_async`, or :meth:`Server.start_in_thread`.
+    """
+    store = ArtifactStore(root=store_dir, memory_entries=memory_entries)
+    return Server(
+        host=host,
+        port=port,
+        store=store,
+        default_quota=default_quota,
+        quotas=quotas,
+        trace_path=trace_path,
+    )
+
+
+__all__ = ["MAX_BODY_BYTES", "Server", "serve"]

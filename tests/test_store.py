@@ -1,0 +1,333 @@
+"""Tests for the content-addressed artifact store (``repro.store``).
+
+Covers the robustness satellite of the store PR: LRU eviction bounds,
+concurrent writers on the same key, and truncated / corrupted / alien
+artifact files all reading as transparent recomputes — plus the opt-in
+activation discipline that keeps one-shot flows byte-identical to the
+pre-store behaviour.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.netlist import Circuit
+from repro.store import (
+    ArtifactStore,
+    StoreError,
+    activate_store,
+    active_store,
+    deactivate_store,
+    ensure_default_store,
+    prepare_design,
+    store_activated,
+    warm_session,
+)
+from repro.store.core import SCHEMA_VERSION, STORE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_store():
+    """Every test starts and ends with no process-wide store."""
+    deactivate_store()
+    yield
+    deactivate_store()
+
+
+def fig1() -> Circuit:
+    circuit = Circuit("fig1")
+    circuit.add_inputs(["A", "B", "C", "D"])
+    circuit.add_gate("X", "AND", ["A", "B"])
+    circuit.add_gate("Y", "OR", ["C", "D"])
+    circuit.add_gate("F", "AND", ["X", "Y"])
+    circuit.add_output("F")
+    circuit.validate()
+    return circuit
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        store = ArtifactStore()
+        calls = []
+        value = store.get_or_compute("ir", "k1", lambda: calls.append(1) or 42)
+        assert value == 42
+        assert store.get_or_compute("ir", "k1", lambda: calls.append(1) or 42) == 42
+        assert len(calls) == 1
+        assert store.hits == 1 and store.misses == 1
+
+    def test_lru_eviction_bound(self):
+        store = ArtifactStore(memory_entries=3)
+        for i in range(5):
+            store.put("ir", f"k{i}", i, disk=False)
+        snapshot = store.cache_snapshot()
+        assert snapshot["entries"] == 3
+        assert snapshot["evict.memory"] == 2
+        # Oldest two are gone, newest three remain.
+        assert store.get("ir", "k0", disk=False) == (False, None)
+        assert store.get("ir", "k1", disk=False) == (False, None)
+        assert store.get("ir", "k4", disk=False) == (True, 4)
+
+    def test_lru_recency_refresh(self):
+        store = ArtifactStore(memory_entries=2)
+        store.put("ir", "a", 1, disk=False)
+        store.put("ir", "b", 2, disk=False)
+        assert store.get("ir", "a", disk=False)[0]  # refresh a
+        store.put("ir", "c", 3, disk=False)  # evicts b, not a
+        assert store.get("ir", "a", disk=False) == (True, 1)
+        assert store.get("ir", "b", disk=False) == (False, None)
+
+    def test_kinds_do_not_collide(self):
+        store = ArtifactStore()
+        store.put("ir", "k", "compiled", disk=False)
+        store.put("cnf", "k", "encoded", disk=False)
+        assert store.get("ir", "k", disk=False) == (True, "compiled")
+        assert store.get("cnf", "k", disk=False) == (True, "encoded")
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(StoreError):
+            ArtifactStore(memory_entries=0)
+        with pytest.raises(StoreError):
+            ArtifactStore(disk_entries=0)
+
+
+class TestDiskTier:
+    def test_round_trip_survives_memory_clear(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        store.put("cnf", "k1", {"clauses": [[1, -2]]})
+        store.clear_memory()
+        found, value = store.get("cnf", "k1")
+        assert found and value == {"clauses": [[1, -2]]}
+        assert store.counters["hit.disk"] == 1
+
+    def test_fresh_store_reads_predecessors_files(self, tmp_path):
+        ArtifactStore(root=str(tmp_path)).put("cnf", "k1", [1, 2, 3])
+        successor = ArtifactStore(root=str(tmp_path))
+        assert successor.get("cnf", "k1") == (True, [1, 2, 3])
+
+    def test_truncated_file_recomputes(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        store.put("cnf", "k1", list(range(1000)))
+        path = os.path.join(str(tmp_path), "cnf", "k1.pkl")
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        store.clear_memory()
+        value = store.get_or_compute("cnf", "k1", lambda: "recomputed")
+        assert value == "recomputed"
+        assert store.counters["corrupt"] == 1
+        # The bad file was replaced by the recompute.
+        store.clear_memory()
+        assert store.get("cnf", "k1") == (True, "recomputed")
+
+    def test_garbage_file_recomputes(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        path = os.path.join(str(tmp_path), "cnf", "k1.pkl")
+        os.makedirs(os.path.dirname(path))
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle at all")
+        assert store.get_or_compute("cnf", "k1", lambda: 7) == 7
+        assert store.counters["corrupt"] == 1
+
+    def test_wrong_schema_version_recomputes(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        path = os.path.join(str(tmp_path), "cnf", "k1.pkl")
+        os.makedirs(os.path.dirname(path))
+        with open(path, "wb") as handle:
+            pickle.dump(
+                {"schema": SCHEMA_VERSION + 1, "kind": "cnf", "key": "k1",
+                 "artifact": "stale"},
+                handle,
+            )
+        assert store.get_or_compute("cnf", "k1", lambda: "fresh") == "fresh"
+        assert store.counters["corrupt"] == 1
+
+    def test_mismatched_key_recomputes(self, tmp_path):
+        """A file renamed onto the wrong key must not serve the wrong
+        artifact."""
+        store = ArtifactStore(root=str(tmp_path))
+        store.put("cnf", "k1", "belongs-to-k1")
+        os.replace(
+            os.path.join(str(tmp_path), "cnf", "k1.pkl"),
+            os.path.join(str(tmp_path), "cnf", "k2.pkl"),
+        )
+        store.clear_memory()
+        assert store.get_or_compute("cnf", "k2", lambda: "own") == "own"
+        assert store.counters["corrupt"] == 1
+
+    def test_unpicklable_artifact_stays_in_memory(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        store.put("session", "k1", lambda: None)  # lambdas don't pickle
+        assert store.counters["unpicklable"] == 1
+        assert store.get("session", "k1", disk=False)[0]
+
+    def test_disk_eviction_bound(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path), disk_entries=3)
+        for i in range(6):
+            store.put("cnf", f"k{i}", i)
+            # Distinct mtimes so the prune order is deterministic.
+            os.utime(os.path.join(str(tmp_path), "cnf", f"k{i}.pkl"),
+                     (i, i))
+        names = sorted(os.listdir(os.path.join(str(tmp_path), "cnf")))
+        assert len(names) == 3
+        assert store.counters["evict.disk"] >= 3
+
+    def test_memory_only_store_ignores_disk_flag(self):
+        store = ArtifactStore(root=None)
+        store.put("cnf", "k1", 1, disk=True)
+        assert store.get("cnf", "k1", disk=True) == (True, 1)
+
+
+def _writer(root: str, key: str, value: int) -> None:
+    store = ArtifactStore(root=root)
+    for _ in range(20):
+        store.put("cnf", key, {"value": value, "blob": list(range(2000))})
+
+
+class TestConcurrentWriters:
+    def test_two_processes_same_key(self, tmp_path):
+        """Racing writers both publish atomically; readers always see a
+        complete file (one of the two, never a torn hybrid)."""
+        procs = [
+            multiprocessing.Process(
+                target=_writer, args=(str(tmp_path), "shared", value)
+            )
+            for value in (1, 2)
+        ]
+        for proc in procs:
+            proc.start()
+        # Read continuously while the writers race.
+        reader = ArtifactStore(root=str(tmp_path))
+        seen = set()
+        while any(proc.is_alive() for proc in procs):
+            reader.clear_memory()
+            found, value = reader.get("cnf", "shared")
+            if found:
+                assert value["value"] in (1, 2)
+                assert len(value["blob"]) == 2000
+                seen.add(value["value"])
+        for proc in procs:
+            proc.join()
+        assert reader.counters.get("corrupt", 0) == 0
+        reader.clear_memory()
+        found, value = reader.get("cnf", "shared")
+        assert found and value["value"] in seen
+        # No temp-file litter left behind.
+        leftovers = [
+            name
+            for name in os.listdir(os.path.join(str(tmp_path), "cnf"))
+            if not name.endswith(".pkl")
+        ]
+        assert leftovers == []
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert active_store() is None
+
+    def test_activate_and_deactivate(self):
+        store = activate_store()
+        assert active_store() is store
+        deactivate_store()
+        assert active_store() is None
+
+    def test_context_manager_restores_previous(self):
+        outer = activate_store()
+        with store_activated() as inner:
+            assert active_store() is inner
+            assert inner is not outer
+        assert active_store() is outer
+
+    def test_ensure_default_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path))
+        store = ensure_default_store()
+        assert store is not None and store.root == str(tmp_path)
+        assert active_store() is store
+        # Idempotent: second call returns the same store.
+        assert ensure_default_store() is store
+
+    def test_ensure_default_without_env_is_none(self, monkeypatch):
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        assert ensure_default_store() is None
+        assert active_store() is None
+
+
+class TestProducerIntegration:
+    def test_compile_shares_ir_across_equal_circuits(self):
+        from repro.ir import compile_circuit
+
+        with store_activated() as store:
+            first = compile_circuit(fig1())
+            second = compile_circuit(fig1())
+        assert first is second
+        assert store.counters["hit.memory.ir"] == 1
+        assert store.counters["miss.ir"] == 1
+
+    def test_encode_shares_base_cnf(self):
+        from repro.sat.tseitin import encode_circuit
+
+        with store_activated() as store:
+            first = encode_circuit(fig1())
+            second = encode_circuit(fig1())
+        assert first is second
+        assert store.counters["hit.memory.cnf"] == 1
+
+    def test_encode_with_prefix_bypasses_store(self):
+        from repro.sat.tseitin import CircuitEncoding, encode_circuit
+
+        with store_activated() as store:
+            encode_circuit(fig1(), prefix="l_")
+            encode_circuit(fig1(), encoding=CircuitEncoding())
+        # The IR compile underneath still caches, but no CNF is shared:
+        # prefixed/caller-supplied encodings are mutable and private.
+        assert store.counters.get("miss.cnf", 0) == 0
+        assert store.counters.get("hit.memory.cnf", 0) == 0
+
+    def test_find_locations_shares_catalog(self):
+        from repro.fingerprint.locations import find_locations
+
+        with store_activated() as store:
+            first = find_locations(fig1())
+            second = find_locations(fig1())
+        assert first is second
+        assert store.counters["hit.memory.catalog"] == 1
+
+    def test_finder_options_key_the_catalog(self):
+        from repro.fingerprint import FinderOptions
+        from repro.fingerprint.locations import find_locations
+
+        with store_activated() as store:
+            find_locations(fig1(), FinderOptions())
+            find_locations(fig1(), FinderOptions(allow_xor_targets=True))
+        assert store.counters["miss.catalog"] == 2
+
+    def test_warm_session_reused_and_rebased(self):
+        with store_activated() as store:
+            first = warm_session(fig1())
+            second = warm_session(fig1())
+        assert first is second
+        # The session's base is the circuit it was first built from; the
+        # batch flow re-bases onto it (session.base is the canonical one).
+        assert first.base.name == "fig1"
+        assert store.counters["hit.memory.session"] == 1
+
+    def test_inactive_store_means_no_sharing(self):
+        from repro.ir import compile_circuit
+
+        assert compile_circuit(fig1()) is not compile_circuit(fig1())
+
+    def test_prepare_design_warms_every_kind(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        catalog = prepare_design(fig1(), store=store)
+        assert catalog.n_locations >= 1
+        snapshot = store.cache_snapshot()
+        for kind in ("ir", "cnf", "catalog", "session"):
+            assert snapshot.get(f"miss.{kind}", 0) >= 1, kind
+        # Resubmission is fully warm: no further misses.
+        before = store.misses
+        prepare_design(fig1(), store=store)
+        assert store.misses == before
