@@ -215,6 +215,9 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     result statuses so the scheduler can apply its retry/quarantine
     policy uniformly across serial and pooled execution.
     """
+    from ..envelope import cache_delta
+    from ..store.core import active_store
+
     job_id = payload["job_id"]
     kind = payload["kind"]
     executor = _EXECUTORS.get(kind)
@@ -223,6 +226,8 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     hang = _hook_matches(
         "REPRO_CAMPAIGN_HANG_JOBS", job_id, payload.get("attempt", 0)
     )
+    store = active_store()
+    cache_before = None if store is None else store.cache_snapshot()
     start = time.perf_counter()
     result: Dict[str, Any] = {
         "job_id": job_id,
@@ -230,6 +235,7 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "verdict": None,
         "error": None,
         "error_type": None,
+        "cache": None,
     }
     with telemetry.span("campaign.job", job_id=job_id, kind=kind,
                         design=payload["design"]) as job_span:
@@ -251,6 +257,11 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             result["error_type"] = type(exc).__name__
         job_span.set(status=result["status"])
     result["seconds"] = time.perf_counter() - start
+    if cache_before is not None:
+        # Per-job artifact-store delta: what *this* job hit or recomputed.
+        # The scheduler persists it with the job row and `campaign report`
+        # aggregates the deltas into fleet-level cache metrics.
+        result["cache"] = cache_delta(cache_before, store.cache_snapshot())
     telemetry.count(f"campaign.job_{result['status']}")
     return result
 

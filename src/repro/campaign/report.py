@@ -12,6 +12,9 @@ Report sections:
     Job counts per lifecycle state, completion/clean flags.
 ``throughput``
     Executed-job seconds, wall-rate, per-kind timing percentiles.
+``cache``
+    Fleet-level artifact-store metrics summed from the per-job store
+    hit/miss deltas that job executors attach to their results.
 ``fingerprint``
     Per-design verification breakdown for ``fingerprint`` campaigns:
     verdict counts, tier histogram, budget-degradation count, overheads.
@@ -99,6 +102,46 @@ def _injector_section(rows: Sequence[JobRow]) -> Dict[str, Dict[str, Any]]:
     return matrix
 
 
+def _cache_section(rows: Sequence[JobRow]) -> Dict[str, Any]:
+    """Fleet-level artifact-store metrics from per-job cache deltas.
+
+    Each ``done`` job row may carry the store counter growth its own
+    execution caused (see :func:`repro.campaign.jobs.execute_payload`).
+    Summing the deltas gives exactly the fleet's cache traffic even
+    across worker processes, resumed runs, and mixed campaigns — a warm
+    job is one whose delta recomputed nothing (hits without misses).
+    """
+    section: Dict[str, Any] = {
+        "jobs_with_cache": 0,
+        "hits": 0,
+        "misses": 0,
+        "hit_rate": None,
+        "warm_jobs": 0,
+        "counters": {},
+    }
+    counters: Dict[str, int] = {}
+    for row in rows:
+        delta = row.cache
+        if delta is None:
+            continue
+        section["jobs_with_cache"] += 1
+        hits = int(delta.get("hits", 0))
+        misses = int(delta.get("misses", 0))
+        section["hits"] += hits
+        section["misses"] += misses
+        if hits > 0 and misses == 0:
+            section["warm_jobs"] += 1
+        for key, value in delta.get("counters", {}).items():
+            if key == "entries":
+                continue
+            counters[key] = counters.get(key, 0) + int(value)
+    looked_up = section["hits"] + section["misses"]
+    if looked_up:
+        section["hit_rate"] = section["hits"] / looked_up
+    section["counters"] = dict(sorted(counters.items()))
+    return section
+
+
 def _throughput_section(rows: Sequence[JobRow]) -> Dict[str, Any]:
     seconds = [row.seconds for row in rows
                if row.status == "done" and row.seconds is not None]
@@ -149,6 +192,7 @@ def build_report(db_path: str, recent_events: int = 50) -> Dict[str, Any]:
             "clean": not (counts.get("failed") or counts.get("faulty")),
         },
         "throughput": _throughput_section(rows),
+        "cache": _cache_section(rows),
         "fingerprint": _fingerprint_section(rows),
         "injectors": _injector_section(rows),
         "failures": failures,
@@ -220,6 +264,27 @@ def render_html(report: Dict[str, Any]) -> str:
                     f"{throughput['job_seconds_mean']:.3f}",
                     f"{throughput['job_seconds_p50']:.3f}",
                     f"{throughput['job_seconds_p95']:.3f}",
+                ]],
+            ),
+        ]
+    cache = report.get("cache") or {}
+    if cache.get("jobs_with_cache"):
+        hit_rate = cache["hit_rate"]
+        parts += [
+            "<h2>Artifact cache</h2>",
+            _table(
+                ["jobs with cache", "hits", "misses", "hit rate",
+                 "warm jobs", "top counters"],
+                [[
+                    cache["jobs_with_cache"],
+                    cache["hits"],
+                    cache["misses"],
+                    "-" if hit_rate is None else f"{hit_rate:.1%}",
+                    cache["warm_jobs"],
+                    ", ".join(
+                        f"{k}={v}"
+                        for k, v in list(cache["counters"].items())[:6]
+                    ) or "-",
                 ]],
             ),
         ]

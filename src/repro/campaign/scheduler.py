@@ -263,6 +263,7 @@ class _Run:
                 verdict=result["verdict"],
                 seconds=result["seconds"],
                 worker=result["pid"],
+                cache=result.get("cache"),
             )
             telemetry.count("campaign.jobs_done")
             return

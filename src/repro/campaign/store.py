@@ -95,6 +95,9 @@ class JobRow:
     error: Optional[str]
     error_type: Optional[str]
     seconds: Optional[float]
+    #: Per-job artifact-store delta (envelope ``cache`` shape) when the
+    #: run had an active store; ``None`` otherwise.
+    cache: Optional[Dict[str, Any]] = None
 
     @property
     def terminal(self) -> bool:
@@ -115,11 +118,27 @@ class JobStore:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         with self._conn:
             self._conn.executescript(_SCHEMA)
+        self._migrate_columns()
         self._check_schema()
 
     # ------------------------------------------------------------------ #
     # meta / spec
     # ------------------------------------------------------------------ #
+
+    def _migrate_columns(self) -> None:
+        """Additive column migrations (backward- and forward-compatible).
+
+        Guarded by ``PRAGMA table_info`` rather than a schema-version
+        bump: old builds ignore the extra column, new builds reading an
+        old DB add it in place, so mixed-version fleets keep working.
+        """
+        existing = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(jobs)")
+        }
+        if "cache" not in existing:
+            with self._conn:
+                self._conn.execute("ALTER TABLE jobs ADD COLUMN cache TEXT")
 
     def _check_schema(self) -> None:
         row = self._conn.execute(
@@ -254,7 +273,7 @@ class JobStore:
             cursor = self._conn.execute(
                 "UPDATE jobs SET status='pending', attempts=0, crashes=0, "
                 "verdict=NULL, error=NULL, error_type=NULL, seconds=NULL, "
-                f"worker=NULL, updated_at=? {where}",
+                f"cache=NULL, worker=NULL, updated_at=? {where}",
                 (time.time(),),
             )
             return cursor.rowcount
@@ -324,15 +343,18 @@ class JobStore:
         error_type: Optional[str] = None,
         seconds: Optional[float] = None,
         worker: Optional[int] = None,
+        cache: Optional[Dict[str, Any]] = None,
     ) -> None:
         with self._conn:
             self._conn.execute(
                 "UPDATE jobs SET status=?, verdict=?, error=?, error_type=?, "
-                "seconds=?, worker=?, updated_at=? WHERE job_id=?",
+                "seconds=?, worker=?, cache=?, updated_at=? WHERE job_id=?",
                 (
                     status,
                     None if verdict is None else json.dumps(verdict, sort_keys=True),
-                    error, error_type, seconds, worker, time.time(), job_id,
+                    error, error_type, seconds, worker,
+                    None if cache is None else json.dumps(cache, sort_keys=True),
+                    time.time(), job_id,
                 ),
             )
 
@@ -382,6 +404,7 @@ class JobStore:
     @staticmethod
     def _to_row(row: sqlite3.Row) -> JobRow:
         verdict = row["verdict"]
+        cache = row["cache"]
         return JobRow(
             job_id=row["job_id"],
             design=row["design"],
@@ -395,6 +418,7 @@ class JobStore:
             error=row["error"],
             error_type=row["error_type"],
             seconds=row["seconds"],
+            cache=None if cache is None else json.loads(cache),
         )
 
     # ------------------------------------------------------------------ #

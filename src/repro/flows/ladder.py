@@ -74,6 +74,14 @@ class LadderConfig:
         detectable_rate: The activation rate ``eps`` used for the headline
             confidence estimate of the random tier (see
             :meth:`VerificationReport.confidence_for`).
+        sat_simplify: Run the SatELite-style CNF preprocessor
+            (:mod:`repro.sat.preprocess`) on scratch miters before solving.
+            Verdict-neutral (the differential suite pins it); off switches
+            to the raw miter.
+        sat_portfolio: When ≥ 2, incremental-session SAT obligations with
+            large dirty cones race that many solver configurations in
+            parallel processes, first verdict wins.  0 disables racing
+            (the default — racing spends cores for latency).
     """
 
     max_exhaustive_inputs: int = 16
@@ -82,6 +90,8 @@ class LadderConfig:
     n_random_vectors: int = 8192
     seed: int = 0
     detectable_rate: float = 1e-3
+    sat_simplify: bool = True
+    sat_portfolio: int = 0
 
 
 @dataclass(frozen=True)
@@ -254,9 +264,18 @@ def _run_tiers(
         try:
             with tier_span:
                 if session is not None:
-                    cec = session.verify(right, budget=tier_budget)
+                    cec = session.verify(
+                        right,
+                        budget=tier_budget,
+                        portfolio=config.sat_portfolio,
+                    )
                 else:
-                    cec = sat_check(left, right, budget=tier_budget)
+                    cec = sat_check(
+                        left,
+                        right,
+                        budget=tier_budget,
+                        simplify=config.sat_simplify,
+                    )
                 spent = cec.stats.conflicts - conflicts_before
                 remaining = (
                     max(0, tier_budget.max_conflicts - spent)

@@ -1,7 +1,25 @@
-"""CNF, a CDCL SAT solver, Tseitin encoding and SAT-based equivalence."""
+"""CNF, a CDCL SAT solver, preprocessing, Tseitin encoding and SAT CEC."""
 
 from .cnf import Cnf, CnfError
-from .solver import CdclSolver, SatResult, SatStatus, SolverStats, solve_cnf
+from .solver import (
+    LEGACY_CONFIG,
+    CdclSolver,
+    SatResult,
+    SatStatus,
+    SolverConfig,
+    SolverStats,
+    solve_cnf,
+)
+from .preprocess import (
+    INCREMENTAL_SAFE,
+    PreprocessConfig,
+    PreprocessResult,
+    PreprocessStats,
+    Reconstruction,
+    preprocess,
+    preprocess_for_solve,
+)
+from .portfolio import PORTFOLIO_CONFIGS, RaceOutcome, configs_for, race
 from .tseitin import CircuitEncoding, encode_circuit, encode_gate
 from .cec import (
     CecResult,
@@ -19,8 +37,21 @@ __all__ = [
     "CdclSolver",
     "SatResult",
     "SatStatus",
+    "SolverConfig",
     "SolverStats",
+    "LEGACY_CONFIG",
     "solve_cnf",
+    "PreprocessConfig",
+    "PreprocessResult",
+    "PreprocessStats",
+    "Reconstruction",
+    "INCREMENTAL_SAFE",
+    "preprocess",
+    "preprocess_for_solve",
+    "PORTFOLIO_CONFIGS",
+    "RaceOutcome",
+    "configs_for",
+    "race",
     "CircuitEncoding",
     "encode_circuit",
     "encode_gate",

@@ -22,7 +22,8 @@ from ..hashing import COMMUTATIVE_KINDS  # noqa: F401 - re-export
 from ..ir import compile_circuit
 from ..netlist.circuit import Circuit
 from ..sim.equivalence import PortMismatchError
-from .solver import CdclSolver, SolverStats
+from .preprocess import PreprocessConfig, preprocess
+from .solver import CdclSolver, SolverConfig, SolverStats
 from .tseitin import CircuitEncoding, _encode_xor2, encode_circuit
 
 
@@ -135,6 +136,10 @@ def check(
     left: Circuit,
     right: Circuit,
     budget: Optional[Budget] = None,
+    *,
+    simplify: bool = True,
+    solver_config: Optional[SolverConfig] = None,
+    preprocess_config: Optional[PreprocessConfig] = None,
 ) -> CecResult:
     """Budgeted equivalence check via the miter; SAT model = mismatch.
 
@@ -146,6 +151,13 @@ def check(
     discharged without building a miter or touching the solver at all —
     the common case for fingerprint requests whose modifications were all
     pruned away.
+
+    ``simplify`` runs the SatELite-style preprocessor
+    (:mod:`repro.sat.preprocess`) on the miter before solving — primary
+    inputs are frozen so counterexamples read straight off the extended
+    model; the differential suite pins verdicts identical either way.
+    ``solver_config`` picks the CDCL inner-loop configuration (default:
+    all speed features on).
     """
     if structurally_identical(left, right):
         return CecResult(
@@ -155,14 +167,28 @@ def check(
             reason="structurally identical under canonical hashing",
         )
     encoding = build_miter(left, right)
-    solver = CdclSolver(encoding.cnf)
+    pre = None
+    cnf = encoding.cnf
+    if simplify:
+        frozen = [encoding.var_of[net] for net in left.inputs]
+        pre = preprocess(cnf, frozen=frozen, config=preprocess_config)
+        if pre.status is False:
+            return CecResult(
+                CecVerdict.EQUIVALENT,
+                None,
+                SolverStats(),
+                reason="refuted during preprocessing",
+            )
+        cnf = pre.cnf
+    solver = CdclSolver(cnf, config=solver_config)
     result = solver.solve(budget=budget)
     if result.unknown:
         return CecResult(CecVerdict.UNDECIDED, None, result.stats, result.reason)
     if not result.satisfiable:
         return CecResult(CecVerdict.EQUIVALENT, None, result.stats)
+    model = result.model if pre is None else pre.extend_model(result.model)
     counterexample = {
-        net: int(result.value(encoding.var_of[net])) for net in left.inputs
+        net: int(model.get(encoding.var_of[net], False)) for net in left.inputs
     }
     return CecResult(CecVerdict.NOT_EQUIVALENT, counterexample, result.stats)
 

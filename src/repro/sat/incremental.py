@@ -53,7 +53,9 @@ from ..sim.simulator import Simulator
 from ..sim.vectors import WORD_BITS, random_stimulus, vector_of
 from ..hashing import gate_key
 from .cec import CecResult, CecVerdict
-from .solver import CdclSolver
+from .preprocess import INCREMENTAL_SAFE, preprocess
+from .solver import CdclSolver, SolverConfig
+from . import portfolio as portfolio_mod
 from .tseitin import _encode, encode_circuit
 
 
@@ -104,9 +106,22 @@ class IncrementalCecSession:
             (must be a multiple of 64; signatures cost one word-parallel
             sweep per copy).
         seed: Stimulus seed, so sessions are reproducible.
+        solver_config: Inner-loop configuration for the persistent solver
+            (default: all speed features on).
+        simplify_base: Run the incremental-safe preprocessor (probing +
+            subsumption + self-subsuming resolution, **no** variable
+            elimination — later copy deltas may reference any base
+            variable) over the base encoding before loading the solver.
     """
 
-    def __init__(self, base: Circuit, n_vectors: int = 512, seed: int = 2015) -> None:
+    def __init__(
+        self,
+        base: Circuit,
+        n_vectors: int = 512,
+        seed: int = 2015,
+        solver_config: Optional[SolverConfig] = None,
+        simplify_base: bool = True,
+    ) -> None:
         if n_vectors <= 0 or n_vectors % WORD_BITS:
             raise ValueError(f"n_vectors must be a positive multiple of {WORD_BITS}")
         self.base = base
@@ -118,7 +133,12 @@ class IncrementalCecSession:
         ):
             encoding = encode_circuit(base)
             self._base_var: Dict[str, int] = dict(encoding.var_of)
-            self.solver = CdclSolver(encoding.cnf)
+            cnf = encoding.cnf
+            if simplify_base:
+                # Equivalence-preserving only: the variable numbering must
+                # survive because every future delta strashes against it.
+                cnf = preprocess(cnf, config=INCREMENTAL_SAFE).cnf
+            self.solver = CdclSolver(cnf, config=solver_config)
             self._sink = _SolverSink(self.solver)
 
             # Structural-hash table over CNF variables: (kind, fanin vars)
@@ -180,7 +200,16 @@ class IncrementalCecSession:
             max_decisions = max(0, budget.max_decisions - decisions_spent)
         return Budget(deadline, max_conflicts, max_decisions)
 
-    def verify(self, copy: Circuit, budget: Optional[Budget] = None) -> CecResult:
+    #: Dirty-cone size (nets) above which an obligation counts as "hard"
+    #: and is raced across portfolio configurations when racing is on.
+    PORTFOLIO_CONE_THRESHOLD = 32
+
+    def verify(
+        self,
+        copy: Circuit,
+        budget: Optional[Budget] = None,
+        portfolio: int = 0,
+    ) -> CecResult:
         """Check one copy against the base; returns a :class:`CecResult`.
 
         Semantics match :func:`repro.sat.cec.check` (three-valued verdict,
@@ -189,11 +218,19 @@ class IncrementalCecSession:
         outputs were discharged.  The budget bounds this call as a whole:
         conflicts/decisions spent on earlier outputs count against later
         ones.
+
+        ``portfolio`` ≥ 2 races that many solver configurations (in OS
+        processes, first verdict wins) on each *hard* obligation — one
+        whose dirty cone reaches :data:`PORTFOLIO_CONE_THRESHOLD` nets —
+        seeded with the session's full clause database, learned clauses
+        included.  Racer work is merged into the session's solver stats
+        exactly once; verdicts are unaffected (every configuration is
+        sound and complete).
         """
         with telemetry.span(
             "cec.verify", design=copy.name, outputs=len(copy.outputs)
         ) as verify_span:
-            result = self._verify(copy, budget)
+            result = self._verify(copy, budget, portfolio)
             verify_span.set(
                 verdict=result.verdict.value,
                 outputs_sat=result.detail.get("outputs_sat"),
@@ -204,7 +241,12 @@ class IncrementalCecSession:
             telemetry.count(f"cec.verdict.{result.verdict.value}")
             return result
 
-    def _verify(self, copy: Circuit, budget: Optional[Budget]) -> CecResult:
+    def _verify(
+        self,
+        copy: Circuit,
+        budget: Optional[Budget],
+        portfolio: int = 0,
+    ) -> CecResult:
         if self.base.version != self._base_version:
             raise ValueError("base circuit was mutated after session construction")
         if set(copy.inputs) != set(self.base.inputs):
@@ -300,7 +342,8 @@ class IncrementalCecSession:
                     stack.extend(gate.inputs)
             return count
 
-        order = sorted(affected, key=dirty_cone_size)
+        cone_size = {net: dirty_cone_size(net) for net in affected}
+        order = sorted(affected, key=cone_size.__getitem__)
         activation = solver.new_var()
         try:
             for position, net in enumerate(order):
@@ -324,21 +367,45 @@ class IncrementalCecSession:
                 ):
                     clause.append(-activation)
                     solver.add_clause(clause)
-                result = solver.solve(
-                    assumptions=[activation, diff_var],
-                    budget=self._remaining(budget, clock, spent_c, spent_d),
-                )
+                remaining = self._remaining(budget, clock, spent_c, spent_d)
+                if (
+                    portfolio >= 2
+                    and cone_size[net] >= self.PORTFOLIO_CONE_THRESHOLD
+                ):
+                    outcome = portfolio_mod.race(
+                        solver.n_vars,
+                        solver.export_clauses(),
+                        assumptions=[activation, diff_var],
+                        configs=portfolio_mod.configs_for(portfolio),
+                        budget=remaining,
+                    )
+                    # Fold all racers' counters into the session's stats
+                    # exactly once (rates recompute from raw counters).
+                    solver.stats.merge(outcome.stats)
+                    detail["portfolio_races"] = (
+                        int(detail.get("portfolio_races", 0)) + 1
+                    )
+                    unknown, satisfiable = outcome.unknown, outcome.satisfiable
+                    reason = outcome.reason
+                    model = outcome.model
+                else:
+                    result = solver.solve(
+                        assumptions=[activation, diff_var], budget=remaining
+                    )
+                    unknown, satisfiable = result.unknown, result.satisfiable
+                    reason = result.reason
+                    model = result.model
                 self.stats.sat_calls += 1
                 detail["outputs_sat"] = position + 1
-                if result.unknown:
+                if unknown:
                     self.stats.undecided += 1
                     detail["undecided_output"] = net
                     return self._snapshot(
-                        CecVerdict.UNDECIDED, None, result.reason, detail
+                        CecVerdict.UNDECIDED, None, reason, detail
                     )
-                if result.satisfiable:
+                if satisfiable:
                     counterexample = {
-                        name: int(result.value(base_var[name]))
+                        name: int(model.get(base_var[name], False))
                         for name in self.base.inputs
                     }
                     self.stats.sat_disproofs += 1
@@ -363,6 +430,10 @@ class IncrementalCecSession:
         self,
         copies: Sequence[Circuit],
         budget: Optional[Budget] = None,
+        portfolio: int = 0,
     ) -> List[CecResult]:
         """Verify copies in order (each bounded by its own ``budget``)."""
-        return [self.verify(copy, budget=budget) for copy in copies]
+        return [
+            self.verify(copy, budget=budget, portfolio=portfolio)
+            for copy in copies
+        ]

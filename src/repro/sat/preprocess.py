@@ -1,0 +1,575 @@
+"""CNF preprocessing for the miter solves (SatELite-style, pure Python).
+
+Implements the three classic clause-database simplifications — run on a
+miter CNF *before* it reaches the CDCL solver — with a reconstruction
+map so verdicts and (extended) models are unchanged:
+
+* **Bounded variable elimination (BVE)**: resolve a variable's positive
+  against its negative occurrences and replace both sides by the
+  non-tautological resolvents whenever that does not grow the clause
+  count.  Pure literals are the zero-resolvent special case, which is
+  what makes BVE act as cone-of-influence pruning on single-output miter
+  obligations: gate variables outside the tested output's cone have no
+  consumers, become pure bottom-up, and vanish wholesale.
+* **Subsumption and self-subsuming resolution (SSR)**: delete clauses
+  that are supersets of another clause; strengthen clauses ``D ∨ ¬l``
+  to ``D`` when some clause ``C ∨ l`` with ``C ⊆ D`` exists.  Signature
+  (bloom) prefiltering keeps the candidate scans cheap.
+* **Failed-literal probing**: assume each candidate literal, run unit
+  propagation; a conflict proves the negation as a root-level fact.
+  Propagation-bounded so it cannot dominate preprocessing time.
+
+Eliminated variables go on a reconstruction stack
+(:class:`Reconstruction`) storing their removed clauses; extending a
+model of the simplified CNF through the stack (in reverse elimination
+order) yields a model of the original CNF.  Variables the caller will
+reference later — assumption literals, primary inputs needed for
+counterexample extraction, activation literals — must be passed as
+``frozen`` so BVE leaves them alone.  Probing/subsumption/SSR are
+equivalence-preserving over the original variable set and therefore safe
+even for incremental sessions that keep adding clauses; BVE is not, and
+is switched off for that use via :data:`INCREMENTAL_SAFE`.
+
+Everything here uses the solver's internal literal encoding only at the
+boundary; the public API speaks DIMACS-signed literals like the rest of
+:mod:`repro.sat`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .. import telemetry
+from .cnf import Cnf
+
+_TRUE = 1
+_FALSE = 0
+_UNASSIGNED = -1
+
+
+def _to_internal(lit: int) -> int:
+    var = abs(lit)
+    return 2 * var + (1 if lit < 0 else 0)
+
+
+def _to_external(lit: int) -> int:
+    var = lit >> 1
+    return -var if lit & 1 else var
+
+
+@dataclass(frozen=True)
+class PreprocessConfig:
+    """Feature switches and effort bounds for :func:`preprocess`.
+
+    ``bve_grow`` allows elimination to add that many clauses beyond the
+    removed count (0 = classic never-grow).  ``probe_limit`` bounds total
+    unit propagations spent probing across the whole call;
+    ``subsume_occ_limit`` skips subsumption candidate scans through
+    occurrence lists longer than the limit (quadratic-blowup guard).
+    """
+
+    bve: bool = True
+    subsume: bool = True
+    ssr: bool = True
+    probe: bool = True
+    max_rounds: int = 4
+    bve_grow: int = 0
+    bve_resolvent_max: int = 24
+    probe_limit: int = 400_000
+    subsume_occ_limit: int = 400
+
+
+#: Safe for CNFs that will keep growing after preprocessing (incremental
+#: sessions): no variable elimination, only equivalence-preserving
+#: simplifications over the original variable set.
+INCREMENTAL_SAFE = PreprocessConfig(bve=False)
+
+
+@dataclass
+class PreprocessStats:
+    """Work counters from one :func:`preprocess` call."""
+
+    eliminated_vars: int = 0
+    subsumed_clauses: int = 0
+    strengthened_literals: int = 0
+    failed_literals: int = 0
+    probes: int = 0
+    rounds: int = 0
+    units_found: int = 0
+    clauses_in: int = 0
+    clauses_out: int = 0
+    vars_in: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+class Reconstruction:
+    """Model-extension map from a simplified CNF back to the original.
+
+    Records, in elimination order, each removed variable together with
+    all clauses (internal literals) it appeared in.  :meth:`extend`
+    replays the stack in reverse: the eliminated variable is set to
+    whatever polarity its stored clauses require under the model built so
+    far — at most one polarity can be forced, because the resolvent of
+    any forcing positive/negative pair survived into the simplified CNF
+    and is satisfied by the model.
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[Tuple[int, List[List[int]]]] = []
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def record(self, var: int, clauses: List[List[int]]) -> None:
+        self._stack.append((var, [list(c) for c in clauses]))
+
+    def extend(self, model: Dict[int, bool]) -> Dict[int, bool]:
+        """Complete ``model`` (a dict over original variable numbers) so it
+        satisfies the original CNF; returns the same dict, mutated."""
+        for var, clauses in reversed(self._stack):
+            value = False
+            for clause in clauses:
+                satisfied = False
+                forced: Optional[bool] = None
+                for lit in clause:
+                    v = lit >> 1
+                    want = not (lit & 1)
+                    if v == var:
+                        forced = want
+                        continue
+                    if model.get(v, False) == want:
+                        satisfied = True
+                        break
+                if not satisfied and forced is not None:
+                    value = forced
+                    break
+            model[var] = value
+        return model
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of :func:`preprocess`.
+
+    ``status`` is ``False`` when preprocessing alone refuted the formula
+    (the simplified CNF then contains the empty-clause marker pair),
+    ``True`` when it satisfied it outright (no clauses left), ``None``
+    when a solver still has work to do.  ``cnf`` preserves the original
+    variable numbering — eliminated variables simply no longer occur —
+    so solver models map straight through :meth:`Reconstruction.extend`.
+    """
+
+    cnf: Cnf
+    status: Optional[bool]
+    reconstruction: Reconstruction
+    stats: PreprocessStats
+
+    def extend_model(self, model: Optional[Dict[int, bool]]) -> Optional[Dict[int, bool]]:
+        if model is None:
+            return None
+        return self.reconstruction.extend(dict(model))
+
+
+class _Store:
+    """Mutable clause database with occurrence lists and signatures."""
+
+    def __init__(self, n_vars: int, clauses: Iterable[Sequence[int]]) -> None:
+        self.n_vars = n_vars
+        self.clauses: List[Optional[List[int]]] = []
+        self.sigs: List[int] = []
+        self.occ: List[List[int]] = [[] for _ in range(2 * (n_vars + 1))]
+        self.assign: List[int] = [_UNASSIGNED] * (n_vars + 1)
+        self.units: List[int] = []
+        self.unsat = False
+        self.touched: Set[int] = set()
+        for clause in clauses:
+            self.add(list(clause))
+
+    @staticmethod
+    def _sig(clause: Sequence[int]) -> int:
+        s = 0
+        for lit in clause:
+            s |= 1 << ((lit >> 1) & 63)
+        return s
+
+    def add(self, clause: List[int]) -> Optional[int]:
+        clause = sorted(set(clause))
+        literals = set(clause)
+        if any((lit ^ 1) in literals for lit in clause):
+            return None  # tautology
+        if not clause:
+            self.unsat = True
+            return None
+        if len(clause) == 1:
+            self.push_unit(clause[0])
+            return None
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        self.sigs.append(self._sig(clause))
+        for lit in clause:
+            self.occ[lit].append(index)
+        self.touched.add(index)
+        return index
+
+    def push_unit(self, lit: int) -> None:
+        var = lit >> 1
+        value = 1 - (lit & 1)
+        current = self.assign[var]
+        if current != _UNASSIGNED:
+            if current != value:
+                self.unsat = True
+            return
+        self.assign[var] = value
+        self.units.append(lit)
+
+    def live(self, index: int) -> bool:
+        return self.clauses[index] is not None
+
+    def delete(self, index: int) -> None:
+        clause = self.clauses[index]
+        if clause is None:
+            return
+        self.clauses[index] = None
+        for lit in clause:
+            occ = self.occ[lit]
+            try:
+                occ.remove(index)
+            except ValueError:
+                pass
+
+    def strengthen(self, index: int, lit: int) -> None:
+        """Remove ``lit`` from clause ``index`` (caller guarantees it's there)."""
+        clause = self.clauses[index]
+        assert clause is not None
+        clause.remove(lit)
+        try:
+            self.occ[lit].remove(index)
+        except ValueError:
+            pass
+        self.sigs[index] = self._sig(clause)
+        if len(clause) == 1:
+            self.push_unit(clause[0])
+            self.delete(index)
+        elif not clause:
+            self.unsat = True
+        else:
+            self.touched.add(index)
+
+    def propagate_units(self) -> bool:
+        """Apply all pending root-level units to the clause store.
+
+        Returns True when anything changed; sets ``unsat`` on conflict.
+        """
+        changed = False
+        head = 0
+        while head < len(self.units) and not self.unsat:
+            lit = self.units[head]
+            head += 1
+            changed = True
+            # Clauses satisfied by lit disappear...
+            for index in list(self.occ[lit]):
+                self.delete(index)
+            # ...clauses containing ¬lit lose that literal.
+            for index in list(self.occ[lit ^ 1]):
+                if self.live(index):
+                    self.strengthen(index, lit ^ 1)
+        return changed
+
+    def lit_value(self, lit: int) -> int:
+        value = self.assign[lit >> 1]
+        if value == _UNASSIGNED:
+            return -1
+        return value ^ (lit & 1)
+
+
+def _subsumption_round(store: _Store, config: PreprocessConfig, stats: PreprocessStats) -> bool:
+    """One pass of (self-)subsumption over the touched clauses."""
+    changed = False
+    queue = sorted(store.touched)
+    store.touched = set()
+    for index in queue:
+        clause = store.clauses[index]
+        if clause is None:
+            continue
+        sig = store.sigs[index]
+        cset = set(clause)
+        # Scan through the literal with the fewest occurrences.
+        best = min(clause, key=lambda l: len(store.occ[l]))
+        if config.subsume and len(store.occ[best]) <= config.subsume_occ_limit:
+            for other in list(store.occ[best]):
+                if other == index:
+                    continue
+                cand = store.clauses[other]
+                if cand is None or len(cand) < len(clause):
+                    continue
+                if sig & ~store.sigs[other]:
+                    continue
+                if cset.issubset(cand):
+                    store.delete(other)
+                    stats.subsumed_clauses += 1
+                    changed = True
+        if not config.ssr:
+            continue
+        # Self-subsuming resolution: clause with one literal flipped
+        # subsumes `other` → drop the flipped literal from `other`.
+        for lit in clause:
+            neg = lit ^ 1
+            occ_neg = store.occ[neg]
+            if len(occ_neg) > config.subsume_occ_limit:
+                continue
+            rest = cset - {lit}
+            rest_sig = store._sig(list(rest)) | (1 << ((lit >> 1) & 63))
+            for other in list(occ_neg):
+                cand = store.clauses[other]
+                if cand is None or other == index or len(cand) < len(clause):
+                    continue
+                if rest_sig & ~store.sigs[other]:
+                    continue
+                if rest.issubset(cand):
+                    store.strengthen(other, neg)
+                    stats.strengthened_literals += 1
+                    changed = True
+                    if store.unsat:
+                        return True
+    return changed
+
+
+def _probe_round(
+    store: _Store,
+    budget: List[int],
+    stats: PreprocessStats,
+) -> bool:
+    """Failed-literal probing over binary-clause literals.
+
+    Assumes each candidate literal and unit-propagates by clause
+    scanning; a conflict adds the negation as a root fact.  ``budget``
+    is a single-element mutable propagation allowance shared across
+    rounds.
+    """
+    changed = False
+    candidates: List[int] = []
+    seen: Set[int] = set()
+    for clause in store.clauses:
+        if clause is None or len(clause) != 2:
+            continue
+        for lit in clause:
+            # Probing ¬lit exercises the binary implication chain.
+            probe = lit ^ 1
+            if probe not in seen:
+                seen.add(probe)
+                candidates.append(probe)
+    assign = store.assign
+    for probe in candidates:
+        if budget[0] <= 0:
+            break
+        if assign[probe >> 1] != _UNASSIGNED:
+            continue
+        stats.probes += 1
+        trail = [probe]
+        local: Dict[int, int] = {probe >> 1: 1 - (probe & 1)}
+        head = 0
+        conflict = False
+        while head < len(trail) and not conflict:
+            lit = trail[head]
+            head += 1
+            budget[0] -= 1
+            if budget[0] <= 0:
+                break
+            for index in store.occ[lit ^ 1]:
+                clause = store.clauses[index]
+                if clause is None:
+                    continue
+                unassigned = 0
+                unit = 0
+                satisfied = False
+                for l in clause:
+                    var = l >> 1
+                    value = local.get(var, assign[var])
+                    if value == _UNASSIGNED:
+                        unassigned += 1
+                        unit = l
+                        if unassigned > 1:
+                            break
+                    elif value == 1 - (l & 1):
+                        satisfied = True
+                        break
+                if satisfied or unassigned > 1:
+                    continue
+                if unassigned == 0:
+                    conflict = True
+                    break
+                local[unit >> 1] = 1 - (unit & 1)
+                trail.append(unit)
+        if conflict:
+            store.push_unit(probe ^ 1)
+            stats.failed_literals += 1
+            store.propagate_units()
+            changed = True
+            if store.unsat:
+                return True
+    return changed
+
+
+def _eliminate_round(
+    store: _Store,
+    frozen: Set[int],
+    config: PreprocessConfig,
+    recon: Reconstruction,
+    stats: PreprocessStats,
+) -> bool:
+    """One bounded-variable-elimination sweep over all candidate vars."""
+    changed = False
+    order = sorted(
+        (var for var in range(1, store.n_vars + 1)
+         if var not in frozen and store.assign[var] == _UNASSIGNED),
+        key=lambda v: len(store.occ[2 * v]) * len(store.occ[2 * v + 1]),
+    )
+    for var in order:
+        if store.unsat:
+            return True
+        if store.assign[var] != _UNASSIGNED:
+            continue
+        pos = [i for i in store.occ[2 * var] if store.live(i)]
+        neg = [i for i in store.occ[2 * var + 1] if store.live(i)]
+        if not pos and not neg:
+            continue  # variable no longer occurs; nothing to reconstruct
+        before = len(pos) + len(neg)
+        limit = before + config.bve_grow
+        if len(pos) * len(neg) > max(limit * 4, 16):
+            continue  # resolvent work clearly out of budget
+        resolvents: List[List[int]] = []
+        ok = True
+        for pi in pos:
+            pc = store.clauses[pi]
+            for ni in neg:
+                nc = store.clauses[ni]
+                merged = set(pc) | set(nc)
+                merged.discard(2 * var)
+                merged.discard(2 * var + 1)
+                if any((lit ^ 1) in merged for lit in merged):
+                    continue  # tautological resolvent
+                if len(merged) > config.bve_resolvent_max:
+                    ok = False
+                    break
+                resolvents.append(sorted(merged))
+                if len(resolvents) > limit:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if not ok:
+            continue
+        removed = [store.clauses[i] for i in pos + neg]
+        recon.record(var, [c for c in removed if c is not None])
+        for index in pos + neg:
+            store.delete(index)
+        for resolvent in resolvents:
+            store.add(resolvent)
+        if store.unsat:
+            return True
+        store.propagate_units()
+        stats.eliminated_vars += 1
+        changed = True
+    return changed
+
+
+def preprocess(
+    cnf: Cnf,
+    frozen: Iterable[int] = (),
+    config: Optional[PreprocessConfig] = None,
+) -> PreprocessResult:
+    """Simplify ``cnf``; returns an equisatisfiable CNF + reconstruction.
+
+    ``frozen`` lists variable numbers that must survive elimination:
+    assumption variables, primary inputs needed for counterexamples, and
+    any variable the caller will mention in later ``add_clause`` calls.
+    The returned CNF keeps the original variable numbering.
+    """
+    config = config if config is not None else PreprocessConfig()
+    frozen_set = {abs(v) for v in frozen}
+    stats = PreprocessStats(
+        clauses_in=len(cnf.clauses), vars_in=cnf.n_vars
+    )
+    recon = Reconstruction()
+    start = time.perf_counter()
+    with telemetry.span("sat.preprocess", vars=cnf.n_vars, clauses=len(cnf.clauses)):
+        store = _Store(
+            cnf.n_vars,
+            ([_to_internal(l) for l in clause] for clause in cnf.clauses),
+        )
+        store.propagate_units()
+        probe_budget = [config.probe_limit]
+        while not store.unsat and stats.rounds < config.max_rounds:
+            stats.rounds += 1
+            changed = False
+            if config.probe:
+                changed |= _probe_round(store, probe_budget, stats)
+            if store.unsat:
+                break
+            if config.subsume or config.ssr:
+                changed |= _subsumption_round(store, config, stats)
+            if store.unsat:
+                break
+            if config.bve:
+                changed |= _eliminate_round(store, frozen_set, config, recon, stats)
+            if not changed:
+                break
+
+        out = Cnf()
+        for _ in range(cnf.n_vars):
+            out.new_var()
+        if store.unsat:
+            status: Optional[bool] = False
+            out.add_clause([1])
+            out.add_clause([-1])
+        else:
+            for var in range(1, store.n_vars + 1):
+                if store.assign[var] == _TRUE:
+                    out.add_clause([var])
+                elif store.assign[var] == _FALSE:
+                    out.add_clause([-var])
+            n_live = 0
+            for clause in store.clauses:
+                if clause is None:
+                    continue
+                n_live += 1
+                out.add_clause([_to_external(l) for l in clause])
+            # No clauses left: the root units alone satisfy the formula.
+            status = True if n_live == 0 else None
+        stats.units_found = len(store.units)
+        stats.clauses_out = len(out.clauses)
+        stats.seconds = time.perf_counter() - start
+        telemetry.count("sat.preprocess.eliminated_vars", stats.eliminated_vars)
+        telemetry.count("sat.preprocess.subsumed", stats.subsumed_clauses)
+        telemetry.count("sat.preprocess.failed_literals", stats.failed_literals)
+        telemetry.count("sat.preprocess.seconds", stats.seconds)
+    return PreprocessResult(cnf=out, status=status, reconstruction=recon, stats=stats)
+
+
+def preprocess_for_solve(
+    cnf: Cnf,
+    assumptions: Sequence[int] = (),
+    frozen: Iterable[int] = (),
+    config: Optional[PreprocessConfig] = None,
+) -> PreprocessResult:
+    """Preprocess with ``assumptions`` baked in as unit clauses.
+
+    The per-obligation entry point: asserting the obligation's literals
+    before simplification lets BVE prune everything outside the tested
+    cone.  The resulting CNF is specific to these assumptions — solve it
+    without re-passing them.
+    """
+    work = Cnf()
+    for _ in range(cnf.n_vars):
+        work.new_var()
+    for clause in cnf.clauses:
+        work.add_clause(list(clause))
+    for lit in assumptions:
+        work.add_clause([lit])
+    merged_frozen = set(frozen) | {abs(l) for l in assumptions}
+    return preprocess(work, frozen=merged_frozen, config=config)

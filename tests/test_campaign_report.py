@@ -65,6 +65,28 @@ class TestBuildReport:
         assert throughput["job_seconds_total"] > 0
         assert throughput["job_seconds_p50"] is not None
 
+    def test_cache_empty_without_store(self, fingerprint_db):
+        cache = build_report(fingerprint_db)["cache"]
+        assert cache["jobs_with_cache"] == 0
+        assert cache["hits"] == 0 and cache["misses"] == 0
+        assert cache["hit_rate"] is None
+
+    def test_cache_deltas_aggregate_with_store(self, tmp_path, monkeypatch):
+        from repro.store.core import deactivate_store
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        db = str(tmp_path / "warm.db")
+        spec = CampaignSpec(kind="fingerprint", designs=(C17,), n_copies=3)
+        try:
+            run_campaign(spec, db, CampaignOptions(jobs=1, timeout_s=60.0))
+        finally:
+            deactivate_store()
+        cache = build_report(db)["cache"]
+        assert cache["jobs_with_cache"] == 3
+        assert cache["hits"] + cache["misses"] > 0
+        assert cache["hit_rate"] is not None
+        assert sum(cache["counters"].values()) > 0
+
     def test_spec_embedded(self, fingerprint_db):
         report = build_report(fingerprint_db)
         assert report["spec"]["kind"] == "fingerprint"
@@ -87,6 +109,7 @@ class TestHtml:
             "totals": {"n_jobs": 0, "counts": {}, "terminal": 0,
                        "complete": False, "clean": True},
             "throughput": {"jobs_timed": 0},
+            "cache": {"jobs_with_cache": 0},
             "fingerprint": {},
             "injectors": {},
             "failures": [],

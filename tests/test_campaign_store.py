@@ -94,6 +94,47 @@ class TestJobRows:
         assert row.verdict == {"equivalent": True}
         assert row.seconds == 0.5
 
+    def test_cache_delta_roundtrip(self, store):
+        store.insert_jobs(make_jobs(1))
+        delta = {"hits": 3, "misses": 1,
+                 "counters": {"hit.memory": 3, "miss": 1}}
+        store.record_result("job0000", "done", verdict={"equivalent": True},
+                            cache=delta)
+        row = store.job("job0000")
+        assert row.cache == delta
+        # rows written without a delta read back as None, not {}
+        store.insert_jobs(make_jobs(2))
+        store.record_result("job0001", "done", verdict={"equivalent": True})
+        assert store.job("job0001").cache is None
+
+    def test_cache_column_added_to_legacy_db(self, tmp_path):
+        """A DB created before the cache column opens and gains it."""
+        import sqlite3
+
+        path = str(tmp_path / "legacy.db")
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);"
+            "INSERT INTO meta VALUES('schema_version', '1');"
+            "CREATE TABLE designs (name TEXT PRIMARY KEY, source TEXT NOT NULL,"
+            " verilog TEXT);"
+            "CREATE TABLE jobs (job_id TEXT PRIMARY KEY, design TEXT NOT NULL,"
+            " kind TEXT NOT NULL, params TEXT NOT NULL, seed TEXT NOT NULL,"
+            " status TEXT NOT NULL DEFAULT 'pending',"
+            " attempts INTEGER NOT NULL DEFAULT 0,"
+            " crashes INTEGER NOT NULL DEFAULT 0, verdict TEXT, error TEXT,"
+            " error_type TEXT, seconds REAL, worker INTEGER, updated_at REAL);"
+            "CREATE TABLE events (event_id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " job_id TEXT NOT NULL, kind TEXT NOT NULL, detail TEXT,"
+            " at REAL NOT NULL);"
+        )
+        conn.commit()
+        conn.close()
+        with JobStore(path) as upgraded:
+            upgraded.insert_jobs(make_jobs(1))
+            upgraded.record_result("job0000", "done", cache={"hits": 1})
+            assert upgraded.job("job0000").cache == {"hits": 1}
+
     def test_attempt_and_crash_counters(self, store):
         store.insert_jobs(make_jobs(1))
         assert store.record_attempt("job0000") == 1

@@ -99,6 +99,9 @@ class TestCommands:
             "--max-exhaustive-inputs", "0",
             "--max-conflicts", "1",
             "--random-vectors", "512",
+            # CNF preprocessing would decide this tiny miter outright;
+            # disable it so the 1-conflict budget forces the fallback.
+            "--no-simplify",
         ]) == 0
         out = capsys.readouterr().out
         assert "random-sim" in out

@@ -1,0 +1,136 @@
+"""Tests for portfolio SAT racing (`repro.sat.portfolio`)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.budget import Budget
+from repro.sat import (
+    PORTFOLIO_CONFIGS,
+    SatStatus,
+    SolverConfig,
+    configs_for,
+    race,
+)
+
+
+def sat_instance():
+    """(n_vars, clauses) with exactly the models where 1=False, 2=True."""
+    return 3, [[-1], [2], [1, 3], [-2, 3]]
+
+
+def unsat_instance():
+    return 2, [[1, 2], [-1, 2], [1, -2], [-1, -2]]
+
+
+def hard_instance(seed=7, n_vars=60, n_clauses=250):
+    """Random 3-SAT with no root-level units: any decision budget of zero
+    leaves every racer UNKNOWN."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(n_clauses):
+        lits = rng.sample(range(1, n_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in lits])
+    return n_vars, clauses
+
+
+class TestRace:
+    def test_unsat_verdict_with_winner(self):
+        n_vars, clauses = unsat_instance()
+        outcome = race(n_vars, clauses, configs=configs_for(2))
+        assert outcome.status is SatStatus.UNSAT
+        assert outcome.winner is not None
+        assert outcome.n_workers == 2
+        assert not outcome.satisfiable and not outcome.unknown
+
+    def test_sat_verdict_returns_satisfying_model(self):
+        n_vars, clauses = sat_instance()
+        outcome = race(n_vars, clauses, configs=configs_for(3))
+        assert outcome.status is SatStatus.SAT
+        model = outcome.model
+        for clause in clauses:
+            assert any(
+                model.get(abs(lit), False) == (lit > 0) for lit in clause
+            ), f"model violates {clause}"
+
+    def test_assumptions_respected(self):
+        # [1, 2] alone is SAT, but assuming both negations refutes it.
+        outcome = race(2, [[1, 2]], assumptions=[-1, -2],
+                       configs=configs_for(2))
+        assert outcome.status is SatStatus.UNSAT
+
+    def test_all_racers_budget_exhausted_is_unknown(self):
+        n_vars, clauses = hard_instance()
+        outcome = race(n_vars, clauses, configs=configs_for(2),
+                       budget=Budget(max_decisions=0))
+        assert outcome.status is SatStatus.UNKNOWN
+        assert outcome.winner is None
+        assert outcome.reason
+
+    def test_merged_stats_account_all_workers(self):
+        n_vars, clauses = unsat_instance()
+        outcome = race(n_vars, clauses, configs=configs_for(2))
+        # Both racers solve this instantly, so (unless one was stopped
+        # before reporting) the merged counters cover both workers; at
+        # minimum the winner's work is present exactly once.
+        assert outcome.stats.propagations > 0 or outcome.stats.decisions >= 0
+        assert outcome.stats.solve_seconds >= 0.0
+
+
+class TestInlineFallback:
+    def test_single_config_solves_inline(self):
+        n_vars, clauses = unsat_instance()
+        config = SolverConfig(restart_base=50)
+        outcome = race(n_vars, clauses, configs=[config])
+        assert outcome.status is SatStatus.UNSAT
+        assert outcome.winner == config.key()
+        assert outcome.n_workers == 1
+
+    def test_empty_lineup_uses_default_config(self):
+        n_vars, clauses = sat_instance()
+        outcome = race(n_vars, clauses, configs=[])
+        assert outcome.status is SatStatus.SAT
+
+
+class TestConfigsFor:
+    def test_prefix_of_builtin_lineup(self):
+        assert configs_for(2) == list(PORTFOLIO_CONFIGS[:2])
+
+    def test_cycling_jitters_restarts(self):
+        lineup = configs_for(len(PORTFOLIO_CONFIGS) + 2)
+        assert len(lineup) == len(PORTFOLIO_CONFIGS) + 2
+        keys = [config.key() for config in lineup]
+        assert len(set(keys)) == len(keys), "cycled configs must stay distinct"
+
+
+class TestSessionIntegration:
+    @pytest.fixture(scope="class")
+    def base_and_copy(self):
+        from repro.bench import RandomLogicSpec, generate
+        from repro.fingerprint import embed, find_locations, full_assignment
+
+        base = generate(
+            RandomLogicSpec(name="race_base", n_inputs=12, n_outputs=4,
+                            n_gates=80, seed=11)
+        )
+        catalog = find_locations(base)
+        copy = embed(base, catalog, full_assignment(base, catalog))
+        return base, copy.circuit
+
+    def test_portfolio_verify_matches_direct(self, base_and_copy, monkeypatch):
+        from repro.sat import IncrementalCecSession
+        from repro.sat.cec import CecVerdict
+
+        base, copy = base_and_copy
+        direct = IncrementalCecSession(base).verify(copy)
+        session = IncrementalCecSession(base)
+        # Every obligation counts as hard, so racing actually engages.
+        monkeypatch.setattr(
+            IncrementalCecSession, "PORTFOLIO_CONE_THRESHOLD", 0
+        )
+        raced = session.verify(copy, portfolio=2)
+        assert raced.verdict is direct.verdict is CecVerdict.EQUIVALENT
+        if raced.detail.get("outputs_sat"):
+            assert raced.detail.get("portfolio_races", 0) >= 1
