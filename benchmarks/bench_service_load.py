@@ -1,0 +1,204 @@
+"""Service load benchmark: multi-process backend vs the 1-worker baseline.
+
+Runs the deterministic mixed-tenant workload of
+``scripts/service_load.py`` twice — against a fresh 1-worker server and
+a fresh 4-worker server (each with its own pristine store, so every
+submission is cold) — and records sustained throughput, latency
+percentiles and cache hit rates for both into
+``BENCH_service_load.json`` at the repository root.
+
+Acceptance gates:
+
+* **verdict identity (always enforced):** the per-job verdict digests of
+  the multi-worker run must match the 1-worker baseline bit-for-bit —
+  parallel execution must not change a single verdict;
+* **throughput (CPU-aware):** >= 2x jobs/sec at 4 workers vs the
+  1-worker baseline *when the host actually has >= 4 usable cores*.
+  On smaller hosts a 4-process pool cannot physically exceed the serial
+  rate, so the gate degrades to "multi-worker throughput does not
+  collapse" (>= 0.4x baseline) and the record carries
+  ``"gate_mode": "reduced-cpu-limited"`` plus the measured CPU count so
+  the reduction is auditable, never silent.
+
+Standalone usage::
+
+    python benchmarks/bench_service_load.py           # full record + gate
+    python benchmarks/bench_service_load.py --smoke   # CI-sized, 2 workers
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from service_load import build_workload, run_load  # noqa: E402
+
+RECORD_PATH = REPO_ROOT / "BENCH_service_load.json"
+SMOKE_RECORD_PATH = REPO_ROOT / "BENCH_service_load_smoke.json"
+
+#: The full-gate throughput target at 4 workers on a >= 4-core host.
+MIN_SPEEDUP = 2.0
+
+#: The reduced-gate floor: multiprocess dispatch overhead must not
+#: collapse throughput even when no parallel speedup is physically
+#: available.
+MIN_SPEEDUP_REDUCED = 0.4
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def run_config(
+    workers: int, specs, clients: int
+) -> Dict[str, Any]:
+    """One cold run: fresh server + pristine store, the whole workload."""
+    from repro.service import Server, TenantQuota
+    from repro.store import deactivate_store
+
+    deactivate_store()  # each config provisions its own store
+    server = Server(
+        port=0, workers=workers,
+        default_quota=TenantQuota(max_pending=64),
+    ).start_in_thread()
+    try:
+        summary = run_load(server.port, specs, clients=clients)
+    finally:
+        server.stop_thread()
+        deactivate_store()
+    summary["workers"] = workers
+    return summary
+
+
+def compare_verdicts(
+    baseline: Dict[str, Any], candidate: Dict[str, Any]
+) -> Sequence[str]:
+    """Labels whose verdict digests diverge between the two runs."""
+    base, cand = baseline["verdicts"], candidate["verdicts"]
+    return sorted(
+        label
+        for label in set(base) | set(cand)
+        if base.get(label) != cand.get(label)
+    )
+
+
+def build_record(smoke: bool, rounds: int, clients: int) -> Dict[str, Any]:
+    cpus = usable_cpus()
+    multi_workers = 2 if smoke else 4
+    specs = build_workload(rounds=rounds, smoke=smoke)
+    print(f"workload: {len(specs)} jobs, {clients} clients, "
+          f"{cpus} usable cpus")
+    print("-- baseline: 1 worker")
+    baseline = run_config(1, specs, clients)
+    print(f"   {baseline['jobs_per_sec']} jobs/s, "
+          f"p99 {baseline['latency_s']['p99']}s")
+    print(f"-- candidate: {multi_workers} workers")
+    candidate = run_config(multi_workers, specs, clients)
+    print(f"   {candidate['jobs_per_sec']} jobs/s, "
+          f"p99 {candidate['latency_s']['p99']}s")
+
+    speedup = (
+        candidate["jobs_per_sec"] / baseline["jobs_per_sec"]
+        if baseline["jobs_per_sec"] else 0.0
+    )
+    full_gate = not smoke and min(multi_workers, cpus) >= 4
+    gate_mode = "full" if full_gate else (
+        "smoke" if smoke else "reduced-cpu-limited"
+    )
+    diverged = compare_verdicts(baseline, candidate)
+    failures = []
+    if baseline["ok"] != baseline["jobs"]:
+        failures.append(f"baseline run had failures: {baseline['failed']}")
+    if candidate["ok"] != candidate["jobs"]:
+        failures.append(f"candidate run had failures: {candidate['failed']}")
+    if diverged:
+        failures.append(
+            f"verdicts diverged from the serial baseline: {diverged}"
+        )
+    if gate_mode == "full" and speedup < MIN_SPEEDUP:
+        failures.append(
+            f"throughput gate: {speedup:.2f}x < {MIN_SPEEDUP}x at "
+            f"{multi_workers} workers on {cpus} cpus"
+        )
+    if gate_mode != "full" and speedup < MIN_SPEEDUP_REDUCED:
+        failures.append(
+            f"reduced throughput gate: {speedup:.2f}x < "
+            f"{MIN_SPEEDUP_REDUCED}x (multiprocess overhead collapse)"
+        )
+    return {
+        "bench": "service_load",
+        "smoke": smoke,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "usable_cpus": cpus,
+        },
+        "workload": {
+            "jobs": len(specs),
+            "rounds": rounds,
+            "clients": clients,
+            "tenants": sorted(baseline["by_tenant"]),
+        },
+        "baseline_1_worker": {
+            k: v for k, v in baseline.items() if k != "verdicts"
+        },
+        "candidate": {
+            k: v for k, v in candidate.items() if k != "verdicts"
+        },
+        "speedup": round(speedup, 3),
+        "gate": {
+            "mode": gate_mode,
+            "min_speedup": MIN_SPEEDUP if gate_mode == "full"
+            else MIN_SPEEDUP_REDUCED,
+            "verdicts_identical": not diverged,
+            "passed": not failures,
+            "failures": failures,
+        },
+        "verdicts": baseline["verdicts"],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized workload, 2 workers vs 1")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="workload rounds (default: 1 smoke, 2 full)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="client threads (default: 4 smoke, 8 full)")
+    args = parser.parse_args(argv)
+
+    rounds = args.rounds or (1 if args.smoke else 2)
+    clients = args.clients or (4 if args.smoke else 8)
+    record = build_record(args.smoke, rounds, clients)
+    path = SMOKE_RECORD_PATH if args.smoke else RECORD_PATH
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    gate = record["gate"]
+    print(f"speedup: {record['speedup']}x "
+          f"(gate mode {gate['mode']}, verdicts identical: "
+          f"{gate['verdicts_identical']})")
+    print(f"wrote {path}")
+    if not gate["passed"]:
+        for failure in gate["failures"]:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

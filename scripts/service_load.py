@@ -1,0 +1,369 @@
+"""Sustained-load harness for the fingerprinting service.
+
+Drives a running :class:`repro.service.Server` with many concurrent
+clients submitting a mixed workload — c17/C432 fingerprints, k2/des
+ODC-location sweeps — across several tenants, and reports sustained
+throughput, latency percentiles, cache hit rates, and a canonical
+verdict digest per job.
+
+The workload is **deterministic and cold**: every job's design text is
+pre-rendered with a per-job salted module name (the content digest
+covers the name, so no job is served warm from an earlier one), and the
+same ``--rounds`` always produce byte-identical submissions.  That is
+what makes the digests comparable across backend configurations — the
+regression gate in ``benchmarks/bench_service_load.py`` runs this
+harness against a 1-worker and a 4-worker server and requires the
+verdict digests to match bit-for-bit.
+
+Standalone usage (spawns its own in-thread server)::
+
+    python scripts/service_load.py --workers 4 --clients 8 --rounds 2
+    python scripts/service_load.py --port 8765        # attach to a server
+
+Importable pieces: :func:`build_workload`, :func:`run_load`,
+:func:`stable_verdict_digest`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import queue as queue_mod
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import ServiceClient, ServiceHttpError  # noqa: E402
+
+#: Keys whose values are timing noise, stripped before verdict hashing.
+VOLATILE_KEYS = frozenset(
+    {"seconds", "wall_seconds", "copies_per_sec", "uptime_s"}
+)
+
+#: The tenants the mixed workload is spread across.
+TENANTS = ("tenant-a", "tenant-b", "tenant-c", "tenant-d")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One deterministic submission of the load mix."""
+
+    label: str
+    command: str
+    tenant: str
+    payload: Dict[str, Any] = field(hash=False)
+
+
+@dataclass
+class JobRecord:
+    """What one client observed for one completed job."""
+
+    label: str
+    tenant: str
+    command: str
+    latency_s: float
+    ok: bool
+    cache_hits: int
+    cache_misses: int
+    verdict_digest: Optional[str]
+    error: Optional[str] = None
+
+
+def _salted_blif(path: Path, salt: str) -> str:
+    """The BLIF at ``path`` with its ``.model`` name salted (cold digest)."""
+    lines = path.read_text().splitlines(keepends=True)
+    for i, line in enumerate(lines):
+        if line.startswith(".model"):
+            lines[i] = f"{line.rstrip()}_{salt}\n"
+            break
+    return "".join(lines)
+
+
+def _salted_suite_verilog(name: str, salt: str) -> str:
+    """A calibrated-suite circuit as Verilog with a salted module name."""
+    from repro.bench import build_benchmark
+    from repro.netlist.verilog import write_verilog
+
+    circuit = build_benchmark(name)
+    circuit.name = f"{circuit.name}_{salt}"
+    return write_verilog(circuit)
+
+
+def build_workload(rounds: int = 1, smoke: bool = False) -> List[JobSpec]:
+    """The deterministic mixed-tenant job list (see module docstring).
+
+    One full round is 8 jobs: 4 light c17 fingerprints (one per tenant),
+    2 C432 fingerprints, 1 k2 locate, 1 des locate.  ``smoke`` swaps the
+    round for a CI-sized one (c17 fingerprints + one C432 fingerprint +
+    one k2 locate) so the harness finishes in seconds.
+    """
+    c17_path = REPO_ROOT / "src" / "repro" / "bench" / "data" / "c17.blif"
+    specs: List[JobSpec] = []
+    seed_options = {"seed": 7}
+    for r in range(rounds):
+        for i, tenant in enumerate(TENANTS):
+            salt = f"r{r}t{i}"
+            specs.append(JobSpec(
+                label=f"c17-fp-{salt}",
+                command="fingerprint",
+                tenant=tenant,
+                payload={
+                    "design": _salted_blif(c17_path, salt),
+                    "format": "blif",
+                    "options": dict(seed_options),
+                },
+            ))
+        heavies: List[JobSpec] = [
+            JobSpec(
+                label=f"C432-fp-{r}a",
+                command="fingerprint",
+                tenant=TENANTS[0],
+                payload={
+                    "design": _salted_suite_verilog("C432", f"r{r}a"),
+                    "format": "verilog",
+                    "options": dict(seed_options),
+                },
+            ),
+            JobSpec(
+                label=f"k2-locate-{r}",
+                command="locate",
+                tenant=TENANTS[2],
+                payload={
+                    "design": _salted_suite_verilog("k2", f"r{r}"),
+                    "format": "verilog",
+                },
+            ),
+        ]
+        if not smoke:
+            heavies += [
+                JobSpec(
+                    label=f"C432-fp-{r}b",
+                    command="fingerprint",
+                    tenant=TENANTS[1],
+                    payload={
+                        "design": _salted_suite_verilog("C432", f"r{r}b"),
+                        "format": "verilog",
+                        "options": dict(seed_options),
+                    },
+                ),
+                JobSpec(
+                    label=f"des-locate-{r}",
+                    command="locate",
+                    tenant=TENANTS[3],
+                    payload={
+                        "design": _salted_suite_verilog("des", f"r{r}"),
+                        "format": "verilog",
+                    },
+                ),
+            ]
+        specs.extend(heavies)
+    return specs
+
+
+def _strip_volatile(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {
+            key: _strip_volatile(item)
+            for key, item in value.items()
+            if key not in VOLATILE_KEYS
+        }
+    if isinstance(value, list):
+        return [_strip_volatile(item) for item in value]
+    return value
+
+
+def stable_verdict_digest(envelope: Dict[str, Any]) -> str:
+    """A timing-independent digest of a job's verdict.
+
+    Hashes only the command and the result section, with every known
+    timing field stripped recursively — two executions of the same
+    submission must produce the same digest or the backend changed an
+    actual verdict.
+    """
+    stable = {
+        "command": envelope.get("command"),
+        "result": _strip_volatile(envelope.get("result")),
+    }
+    canonical = json.dumps(stable, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def run_load(
+    port: int,
+    specs: Sequence[JobSpec],
+    clients: int = 4,
+    host: str = "127.0.0.1",
+    timeout_s: float = 600.0,
+) -> Dict[str, Any]:
+    """Drive ``specs`` through ``clients`` concurrent client threads.
+
+    Each thread owns one :class:`ServiceClient` (submit → wait, with
+    the client's built-in 429 backoff) and pulls jobs from a shared
+    queue until it is empty.  Returns the summary dict (throughput,
+    latency percentiles, cache hit rate, per-job verdict digests).
+    """
+    work: "queue_mod.Queue[JobSpec]" = queue_mod.Queue()
+    for spec in specs:
+        work.put(spec)
+    records: List[JobRecord] = []
+    records_lock = threading.Lock()
+
+    def drive() -> None:
+        client = ServiceClient(
+            host=host, port=port, timeout=timeout_s,
+            retry_429=8, backoff_s=0.05,
+        )
+        while True:
+            try:
+                spec = work.get_nowait()
+            except queue_mod.Empty:
+                return
+            started = time.perf_counter()
+            try:
+                envelope = client.run(
+                    spec.command, tenant=spec.tenant, **spec.payload
+                )
+                latency = time.perf_counter() - started
+                cache = envelope.get("cache") or {}
+                record = JobRecord(
+                    label=spec.label,
+                    tenant=spec.tenant,
+                    command=spec.command,
+                    latency_s=latency,
+                    ok=bool(envelope.get("ok")),
+                    cache_hits=int(cache.get("hits", 0)),
+                    cache_misses=int(cache.get("misses", 0)),
+                    verdict_digest=stable_verdict_digest(envelope),
+                )
+            except (ServiceHttpError, TimeoutError) as exc:
+                record = JobRecord(
+                    label=spec.label,
+                    tenant=spec.tenant,
+                    command=spec.command,
+                    latency_s=time.perf_counter() - started,
+                    ok=False,
+                    cache_hits=0,
+                    cache_misses=0,
+                    verdict_digest=None,
+                    error=str(exc)[:200],
+                )
+            with records_lock:
+                records.append(record)
+
+    wall_start = time.perf_counter()
+    threads = [
+        threading.Thread(target=drive, daemon=True)
+        for _ in range(max(1, clients))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout_s)
+    wall_s = time.perf_counter() - wall_start
+    return summarize(records, wall_s, clients)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def summarize(
+    records: Sequence[JobRecord], wall_s: float, clients: int
+) -> Dict[str, Any]:
+    """Aggregate per-job records into the harness result dict."""
+    latencies = sorted(r.latency_s for r in records if r.ok)
+    hits = sum(r.cache_hits for r in records)
+    misses = sum(r.cache_misses for r in records)
+    failed = [r for r in records if not r.ok]
+    return {
+        "jobs": len(records),
+        "ok": len(records) - len(failed),
+        "failed": [
+            {"label": r.label, "error": r.error} for r in failed
+        ],
+        "clients": clients,
+        "wall_s": round(wall_s, 4),
+        "jobs_per_sec": round(len(records) / wall_s, 4) if wall_s else 0.0,
+        "latency_s": {
+            "p50": round(_percentile(latencies, 0.50), 4),
+            "p90": round(_percentile(latencies, 0.90), 4),
+            "p99": round(_percentile(latencies, 0.99), 4),
+            "max": round(latencies[-1], 4) if latencies else 0.0,
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses else 0.0,
+        },
+        "by_tenant": {
+            tenant: sum(1 for r in records if r.tenant == tenant)
+            for tenant in sorted({r.tenant for r in records})
+        },
+        "verdicts": {
+            r.label: r.verdict_digest
+            for r in sorted(records, key=lambda r: r.label)
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None,
+                        help="attach to a running service instead of "
+                        "spawning an in-thread one")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes of the spawned server "
+                        "(ignored with --port; default: 2)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client threads (default: 4)")
+    parser.add_argument("--rounds", type=int, default=1,
+                        help="workload rounds (8 jobs each; default: 1)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized round (c17 + C432 + k2 only)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the summary JSON here")
+    args = parser.parse_args(argv)
+
+    specs = build_workload(rounds=args.rounds, smoke=args.smoke)
+    server = None
+    port = args.port
+    if port is None:
+        from repro.service import Server, TenantQuota
+
+        server = Server(
+            port=0, workers=args.workers,
+            default_quota=TenantQuota(max_pending=64),
+        ).start_in_thread()
+        port = server.port
+    try:
+        summary = run_load(
+            port, specs, clients=args.clients, host=args.host
+        )
+    finally:
+        if server is not None:
+            server.stop_thread()
+    print(json.dumps({k: v for k, v in summary.items() if k != "verdicts"},
+                     indent=2))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+    return 0 if summary["ok"] == summary["jobs"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -241,6 +241,7 @@ def serve(
     *,
     store_dir: Optional[str] = None,
     memory_entries: int = 128,
+    workers: int = 1,
     default_quota=None,
     quotas=None,
     trace_path: Optional[str] = None,
@@ -248,12 +249,14 @@ def serve(
     """Build the long-running fingerprinting HTTP service (not yet started).
 
     Returns a :class:`repro.service.Server` wired to a content-addressed
-    artifact store (disk tier at ``store_dir``, or memory-only).  Start
-    it with :meth:`~repro.service.Server.run` (blocking),
+    artifact store (disk tier at ``store_dir``, or memory-only) and a
+    pool of ``workers`` execution processes sharing that store's disk
+    tier.  Start it with :meth:`~repro.service.Server.run` (blocking),
     :meth:`~repro.service.Server.run_async` (inside an event loop), or
     :meth:`~repro.service.Server.start_in_thread` (embedding/tests).
-    Submissions speak JSON over HTTP and come back in the same envelope
-    the CLI emits; see :mod:`repro.service` for the endpoint reference.
+    Submissions speak JSON over HTTP against the typed ``/v1`` API and
+    come back in the same envelope the CLI emits; see
+    :mod:`repro.service` for the endpoint reference.
     """
     from .service.server import serve as _serve
 
@@ -262,6 +265,7 @@ def serve(
         port=port,
         store_dir=store_dir,
         memory_entries=memory_entries,
+        workers=workers,
         default_quota=default_quota,
         quotas=quotas,
         trace_path=trace_path,

@@ -504,13 +504,15 @@ def _cmd_serve(args: argparse.Namespace) -> CommandResult:
         host=args.host,
         port=args.port,
         store=store,
+        workers=args.workers,
         default_quota=quota,
         trace_path=trace_path,
         max_requests=args.max_requests,
     )
     server.start_in_thread()
     _say(args, f"repro-fp service on http://{args.host}:{server.port} "
-               f"(store={'disk:' + store.root if store.root else 'memory'}, "
+               f"({args.workers} worker processes, "
+               f"store={'disk:' + store.root if store.root else 'memory'}, "
                f"Ctrl-C to stop)")
     try:
         while server._thread is not None and server._thread.is_alive():
@@ -525,6 +527,7 @@ def _cmd_serve(args: argparse.Namespace) -> CommandResult:
         "port": server.port,
         "store": store.root or "memory",
         "cache": store.cache_snapshot(),
+        "executor": server._executor_stats(),
         **stats,
     }
     return 0, result
@@ -738,6 +741,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TCP port; 0 binds an ephemeral port (default: 8765)")
     p.add_argument("--memory-entries", type=int, default=128, metavar="N",
                    help="artifact-store memory-tier LRU bound (default: 128)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes executing jobs; concurrent "
+                   "submissions overlap across them (default: 1)")
     p.add_argument("--quota-max-pending", type=int, default=8, metavar="N",
                    help="per-tenant cap on queued+running jobs; exceeding "
                    "it returns HTTP 429 (default: 8)")

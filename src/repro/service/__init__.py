@@ -4,18 +4,32 @@
 
     from repro.service import Server, ServiceClient, TenantQuota
 
-    server = Server(port=0).start_in_thread()       # or repro-fp serve
+    server = Server(port=0, workers=4).start_in_thread()  # or repro-fp serve
     client = ServiceClient(port=server.port)
     envelope = client.run("batch", design=text, format="verilog")
     server.stop_thread()
 
-See :mod:`repro.service.server` for the endpoint reference and the
-threading model, :mod:`repro.service.queue` for tenancy/quotas, and
-:mod:`repro.service.jobs` for the command set.
+See :mod:`repro.service.server` for the endpoint reference,
+:mod:`repro.service.protocol` for the typed ``/v1`` request/response
+contract, :mod:`repro.service.executor` for the multi-process execution
+backend, :mod:`repro.service.queue` for tenancy/quotas/fair scheduling,
+and :mod:`repro.service.jobs` for the command set.
 """
 
 from .client import ServiceClient, ServiceHttpError
+from .executor import JobExecutor, WorkerInfo
 from .jobs import SERVICE_COMMANDS, run_service_job
+from .protocol import (
+    API_PREFIX,
+    ERROR_CODES,
+    ErrorBody,
+    JobListing,
+    JobStatus,
+    ProtocolError,
+    StatsResponse,
+    SubmitAccepted,
+    SubmitRequest,
+)
 from .queue import (
     JobQueue,
     QuotaExceededError,
@@ -27,7 +41,14 @@ from .queue import (
 from .server import Server, serve
 
 __all__ = [
+    "API_PREFIX",
+    "ERROR_CODES",
+    "ErrorBody",
+    "JobExecutor",
+    "JobListing",
     "JobQueue",
+    "JobStatus",
+    "ProtocolError",
     "QuotaExceededError",
     "SERVICE_COMMANDS",
     "Server",
@@ -35,8 +56,12 @@ __all__ = [
     "ServiceError",
     "ServiceHttpError",
     "ServiceJob",
+    "StatsResponse",
+    "SubmitAccepted",
+    "SubmitRequest",
     "TenantQuota",
     "UnknownJobError",
+    "WorkerInfo",
     "run_service_job",
     "serve",
 ]

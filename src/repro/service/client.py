@@ -1,44 +1,117 @@
-"""Minimal stdlib client for the fingerprinting service.
+"""Minimal stdlib client for the fingerprinting service's ``/v1`` API.
 
-Wraps ``http.client`` so tests, the smoke script, and the store
-benchmark can talk to a running :class:`~repro.service.server.Server`
-without any HTTP dependency::
+Wraps ``http.client`` so tests, the smoke script, the load harness and
+the store benchmark can talk to a running
+:class:`~repro.service.server.Server` without any HTTP dependency::
 
-    client = ServiceClient("127.0.0.1", port)
+    client = ServiceClient(port=port)
     submitted = client.submit("batch", design=c17_verilog,
                               format="verilog", n_copies=4)
     envelope = client.wait(submitted["job_id"])
     assert envelope["cache"]["warm"]["catalog"]
 
-Every method raises :class:`ServiceHttpError` on a non-2xx response,
-with the decoded error payload attached.
+The constructor is keyword-only; the pre-``/v1`` positional form
+(``ServiceClient("127.0.0.1", port, timeout)``) still works but emits a
+:class:`DeprecationWarning`.  ``api_version="legacy"`` pins the client
+to the deprecated unversioned routes (used by the parity tests).
+
+Quota rejections (HTTP 429, code ``quota_exceeded``) are retried with
+exponential backoff up to ``retry_429`` times before the error is
+re-raised — a load shedder's 429 is an invitation to come back, not a
+failure.  Every other non-2xx response raises
+:class:`ServiceHttpError` immediately, with the decoded error payload
+attached (machine-readable ``code`` included).
 """
 
 from __future__ import annotations
 
 import json
 import time
+import warnings
 from http.client import HTTPConnection
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Known API surfaces → path prefix.
+_API_PREFIXES = {"v1": "/v1", "legacy": ""}
 
 
 class ServiceHttpError(RuntimeError):
-    """A non-2xx service response (status + decoded body)."""
+    """A non-2xx service response (status + decoded body).
+
+    ``payload`` is the decoded error body; for ``/v1`` errors it carries
+    the machine-readable ``code`` clients should dispatch on.
+    """
 
     def __init__(self, status: int, payload: Any) -> None:
         super().__init__(f"HTTP {status}: {payload}")
         self.status = status
         self.payload = payload
 
+    @property
+    def code(self) -> Optional[str]:
+        """The machine-readable error code, when the body carries one."""
+        if isinstance(self.payload, dict):
+            return self.payload.get("code")
+        return None
+
 
 class ServiceClient:
-    """Blocking JSON client for one service endpoint (see module doc)."""
+    """Blocking JSON client for one service endpoint (see module doc).
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
-                 timeout: float = 120.0) -> None:
+    Args:
+        host/port: Service address.
+        timeout: Socket timeout per request, seconds.
+        api_version: ``"v1"`` (default) or ``"legacy"`` for the
+            deprecated unversioned aliases.
+        retry_429: How many times a quota-rejected submission is retried
+            (exponential backoff, ``backoff_s`` base) before the 429 is
+            raised.  0 disables retrying.
+        backoff_s: Base sleep of the 429 backoff; attempt *n* sleeps
+            ``backoff_s * 2**n``.
+    """
+
+    def __init__(
+        self,
+        *args: Any,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 120.0,
+        api_version: str = "v1",
+        retry_429: int = 3,
+        backoff_s: float = 0.05,
+    ) -> None:
+        if args:
+            # Pre-/v1 call shape: ServiceClient(host, port, timeout).
+            warnings.warn(
+                "positional ServiceClient arguments are deprecated; "
+                "use ServiceClient(host=..., port=..., timeout=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 3:
+                raise TypeError(
+                    f"ServiceClient takes at most 3 positional arguments "
+                    f"({len(args)} given)"
+                )
+            for name, value in zip(("host", "port", "timeout"), args):
+                if name == "host":
+                    host = value
+                elif name == "port":
+                    port = value
+                else:
+                    timeout = value
+        if api_version not in _API_PREFIXES:
+            raise ValueError(
+                f"api_version must be one of {sorted(_API_PREFIXES)}, "
+                f"got {api_version!r}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.api_version = api_version
+        self.retry_429 = retry_429
+        self.backoff_s = backoff_s
+        self._prefix = _API_PREFIXES[api_version]
 
     # ------------------------------------------------------------------ #
 
@@ -53,7 +126,9 @@ class ServiceClient:
         try:
             payload = None if body is None else json.dumps(body)
             headers = {"Content-Type": "application/json"} if payload else {}
-            connection.request(method, path, body=payload, headers=headers)
+            connection.request(
+                method, self._prefix + path, body=payload, headers=headers
+            )
             response = connection.getresponse()
             raw = response.read().decode("utf-8")
             decoded = json.loads(raw) if raw else None
@@ -72,12 +147,51 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def submit(self, command: str, **payload: Any) -> Dict[str, Any]:
-        """POST a job; returns the 202 body (``job_id``, ``stream`` …)."""
+        """POST a job; returns the 202 body (``job_id``, ``stream`` …).
+
+        A 429 (tenant quota) is retried up to ``retry_429`` times with
+        exponential backoff before being raised.
+        """
         payload["command"] = command
-        return self._request("POST", "/jobs", body=payload)
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/jobs", body=payload)
+            except ServiceHttpError as exc:
+                if exc.status != 429 or attempt >= self.retry_429:
+                    raise
+                time.sleep(self.backoff_s * (2 ** attempt))
+                attempt += 1
+
+    def submit_many(
+        self, submissions: Sequence[Tuple[str, Dict[str, Any]]]
+    ) -> List[Dict[str, Any]]:
+        """Submit ``(command, payload)`` pairs; returns the 202 bodies.
+
+        Sequential (the service itself provides the concurrency); each
+        submission gets the same 429 retry treatment as :meth:`submit`.
+        """
+        return [
+            self.submit(command, **dict(payload))
+            for command, payload in submissions
+        ]
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(
+        self,
+        tenant: Optional[str] = None,
+        limit: int = 50,
+        offset: int = 0,
+    ) -> Dict[str, Any]:
+        """``GET /v1/jobs`` — paginated listing, optionally per tenant."""
+        query = f"?limit={limit}&offset={offset}"
+        if tenant is not None:
+            from urllib.parse import quote
+
+            query += f"&tenant={quote(tenant)}"
+        return self._request("GET", f"/jobs{query}")
 
     def wait(self, job_id: str, timeout: float = 300.0,
              poll_s: float = 0.05) -> Dict[str, Any]:
@@ -103,6 +217,10 @@ class ServiceClient:
         submitted = self.submit(command, **payload)
         return self.wait(submitted["job_id"])
 
+    def shutdown(self) -> Dict[str, Any]:
+        """``POST /v1/shutdown`` — ask the service to drain and stop."""
+        return self._request("POST", "/shutdown")
+
     def events(self, job_id: str, timeout: float = 300.0
                ) -> Iterator[Dict[str, Any]]:
         """Stream the job's server-sent events until its result frame.
@@ -112,7 +230,7 @@ class ServiceClient:
         """
         connection = HTTPConnection(self.host, self.port, timeout=timeout)
         try:
-            connection.request("GET", f"/jobs/{job_id}/events")
+            connection.request("GET", f"{self._prefix}/jobs/{job_id}/events")
             response = connection.getresponse()
             if response.status != 200:
                 raw = response.read().decode("utf-8")

@@ -1,27 +1,33 @@
 """Multi-tenant submission queue for the fingerprinting service.
 
-One :class:`JobQueue` sits between the HTTP front end and the single
-execution worker: submissions append :class:`ServiceJob` rows, the
-worker consumes them FIFO, and every state change is published to the
-job's subscribers (the server-sent-event streams).  Tenancy is quota
-enforcement only — a :class:`TenantQuota` bounds how many jobs a tenant
-may have in flight (queued + running) and optionally caps each job's SAT
-effort with a :class:`repro.budget.Budget`, which the executor threads
-into the verification ladder.  Exceeding the pending bound raises
+One :class:`JobQueue` sits between the HTTP front end and the
+multi-process execution backend: submissions append :class:`ServiceJob`
+rows, the dispatcher consumes them, and every state change is published
+to the job's subscribers (the server-sent-event streams).
+
+Scheduling is **round-robin across tenants**: each tenant has its own
+FIFO bucket and :meth:`next_job` rotates through tenants with queued
+work, so one tenant bulk-submitting a backlog cannot starve another
+tenant's single job even on a one-worker service (within a tenant,
+order stays FIFO).  Tenancy is otherwise quota enforcement — a
+:class:`TenantQuota` bounds how many jobs a tenant may have in flight
+(queued + running) and optionally caps each job's SAT effort with a
+:class:`repro.budget.Budget`, which the executor threads into the
+verification ladder.  Exceeding the pending bound raises
 :class:`QuotaExceededError`, which the server maps to HTTP 429.
 
-The queue is owned by the asyncio event loop thread; the execution
-worker reports completions back through
-``loop.call_soon_threadsafe`` (see :class:`repro.service.server.Server`),
-so all mutation happens on the loop thread and no locking is needed.
+The queue is owned by the asyncio event loop thread; job completions
+arrive back on the loop via the server's dispatch tasks, so all
+mutation happens on the loop thread and no locking is needed.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..budget import Budget
@@ -52,7 +58,7 @@ class TenantQuota:
         budget: Optional per-job SAT budget (deadline / conflict /
             decision caps) forced onto every job the tenant submits —
             the mechanism that keeps one tenant's pathological miter
-            from starving the worker.
+            from starving the workers.
     """
 
     max_pending: int = 8
@@ -71,9 +77,15 @@ class ServiceJob:
     tenant: str
     command: str
     payload: Dict[str, Any]
+    serial: int = 0
     status: str = "queued"
+    #: Crash-requeue count: 0 on first dispatch, 1 after the job was
+    #: salvaged from a broken worker pool and queued again.
+    attempts: int = 0
     envelope: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    #: Machine-readable failure code (see ``protocol.ERROR_CODES``).
+    error_code: Optional[str] = None
     created: float = field(default_factory=time.time)
     started: Optional[float] = None
     finished: Optional[float] = None
@@ -89,21 +101,28 @@ class ServiceJob:
         return self.status in ("done", "failed")
 
     def describe(self) -> Dict[str, Any]:
-        """Status view (everything but the result envelope)."""
+        """Status view (everything but the result envelope).
+
+        Field-for-field the :class:`repro.service.protocol.JobStatus`
+        shape — the SSE ``status`` frames and the ``/v1`` bodies must
+        never drift apart.
+        """
         return {
             "job_id": self.job_id,
             "tenant": self.tenant,
             "command": self.command,
             "status": self.status,
+            "attempts": self.attempts,
             "created": self.created,
             "started": self.started,
             "finished": self.finished,
             "error": self.error,
+            "error_code": self.error_code,
         }
 
 
 class JobQueue:
-    """FIFO job queue with per-tenant pending quotas (see module docstring)."""
+    """Tenant-fair job queue with per-tenant pending quotas (see module doc)."""
 
     def __init__(
         self,
@@ -113,10 +132,16 @@ class JobQueue:
         self.default_quota = default_quota or TenantQuota()
         self.quotas = dict(quotas or {})
         self._jobs: Dict[str, ServiceJob] = {}
-        self._ready: "asyncio.Queue[ServiceJob]" = asyncio.Queue()
+        #: Per-tenant FIFO buckets + the round-robin ring.  Invariant:
+        #: ``_ring`` holds exactly the tenants with a non-empty bucket,
+        #: each once, in rotation order.
+        self._buckets: Dict[str, Deque[ServiceJob]] = {}
+        self._ring: Deque[str] = deque()
+        self._available = asyncio.Semaphore(0)
         self._serial = 0
         self.counters: Dict[str, int] = {
             "submitted": 0, "rejected": 0, "done": 0, "failed": 0,
+            "requeued": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -135,6 +160,15 @@ class JobQueue:
     def depth(self) -> int:
         """Jobs waiting to start (the queue-depth gauge)."""
         return sum(1 for job in self._jobs.values() if job.status == "queued")
+
+    def _enqueue(self, job: ServiceJob) -> None:
+        bucket = self._buckets.setdefault(job.tenant, deque())
+        if not bucket:
+            self._ring.append(job.tenant)
+        bucket.append(job)
+        self._available.release()
+        telemetry.gauge("service.queue_depth", self.depth())
+        self.publish(job, {"event": "status", "data": job.describe()})
 
     def submit(
         self, command: str, payload: Dict[str, Any], tenant: str = "anonymous"
@@ -155,18 +189,36 @@ class JobQueue:
             content_digest(tenant, command, repr(sorted(payload.items()))),
         )
         job = ServiceJob(job_id=job_id, tenant=tenant, command=command,
-                         payload=payload)
+                         payload=payload, serial=self._serial)
         self._jobs[job_id] = job
-        self._ready.put_nowait(job)
         self.counters["submitted"] += 1
         telemetry.count("service.submitted")
-        telemetry.gauge("service.queue_depth", self.depth())
-        self.publish(job, {"event": "status", "data": job.describe()})
+        self._enqueue(job)
         return job
 
+    def requeue(self, job: ServiceJob) -> None:
+        """Put a dispatched job back in line after a worker crash.
+
+        The job returns to the *tail* of its tenant's bucket with its
+        attempt counter bumped; the server fails it with a structured
+        error instead of requeueing again on the next crash.
+        """
+        job.status = "queued"
+        job.started = None
+        job.attempts += 1
+        self.counters["requeued"] += 1
+        telemetry.count("service.requeued")
+        self._enqueue(job)
+
     async def next_job(self) -> ServiceJob:
-        """Await the next queued job (loop thread only)."""
-        return await self._ready.get()
+        """Await the next queued job, rotating across tenants (loop only)."""
+        await self._available.acquire()
+        tenant = self._ring.popleft()
+        bucket = self._buckets[tenant]
+        job = bucket.popleft()
+        if bucket:
+            self._ring.append(tenant)
+        return job
 
     def get(self, job_id: str) -> ServiceJob:
         try:
@@ -175,6 +227,23 @@ class JobQueue:
             raise UnknownJobError(
                 f"unknown job id {job_id!r}", stage="service"
             ) from None
+
+    def list_jobs(
+        self,
+        tenant: Optional[str] = None,
+        limit: int = 50,
+        offset: int = 0,
+    ) -> Tuple[int, List[ServiceJob]]:
+        """``(total, page)`` of jobs in submission order, oldest first."""
+        matched = sorted(
+            (
+                job
+                for job in self._jobs.values()
+                if tenant is None or job.tenant == tenant
+            ),
+            key=lambda job: job.serial,
+        )
+        return len(matched), matched[offset : offset + limit]
 
     # ------------------------------------------------------------------ #
     # state transitions (loop thread only)
@@ -194,10 +263,16 @@ class JobQueue:
         telemetry.count("service.done")
         self._finish(job)
 
-    def mark_failed(self, job: ServiceJob, error: str) -> None:
+    def mark_failed(
+        self,
+        job: ServiceJob,
+        error: str,
+        code: str = "job_error",
+    ) -> None:
         job.status = "failed"
         job.finished = time.time()
         job.error = error
+        job.error_code = code
         self.counters["failed"] += 1
         telemetry.count("service.failed")
         self._finish(job)
@@ -234,7 +309,7 @@ class JobQueue:
     # ------------------------------------------------------------------ #
 
     def stats(self) -> Dict[str, Any]:
-        """Queue-level statistics (the ``/stats`` endpoint's core)."""
+        """Queue-level statistics (the ``/v1/stats`` endpoint's core)."""
         by_status: Dict[str, int] = {state: 0 for state in JOB_STATES}
         by_tenant: Dict[str, int] = {}
         for job in self._jobs.values():

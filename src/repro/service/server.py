@@ -4,35 +4,38 @@ One :class:`Server` owns four moving parts:
 
 * an ``asyncio.start_server`` HTTP/1.1 front end (hand-rolled request
   parsing — the stdlib ships no async HTTP server, and the repo takes no
-  third-party dependencies);
-* the multi-tenant :class:`~repro.service.queue.JobQueue`;
-* a **single execution worker thread** that drains the queue through
-  :func:`~repro.service.jobs.run_service_job`.  One thread, not a pool:
-  the telemetry tracer and the warm CEC sessions in the artifact store
-  are process-global and not thread-safe, so the service serializes job
-  *execution* and gets its parallelism inside a job (``options.jobs``
-  fans a batch across the ``flows/batch`` process pool) — plus, of
-  course, from the artifact store making repeat work disappear;
-* a process-wide :class:`~repro.store.ArtifactStore`, activated at
-  startup, so every submission of a structurally identical netlist
-  reuses the compiled IR, base CNF, location catalog and warm
-  incremental session of the first.
+  third-party dependencies) speaking the versioned, typed ``/v1`` API
+  (:mod:`repro.service.protocol`); unversioned routes remain as
+  deprecated aliases (same handlers, byte-identical bodies, plus a
+  ``Deprecation`` header and a telemetry counter);
+* the multi-tenant, tenant-fair :class:`~repro.service.queue.JobQueue`;
+* the multi-process execution backend
+  (:class:`~repro.service.executor.JobExecutor`): a dispatcher task
+  feeds up to N worker *processes*, so CPU-bound jobs from different
+  tenants overlap on multi-core hosts.  Every worker activates its own
+  artifact store over a shared disk-tier root (cross-worker warmth);
+  finished jobs ship their span trees, metric snapshots and store
+  deltas back in the result envelope, so SSE streaming, ``/stats`` and
+  per-job ``cache`` sections behave exactly as the single-thread
+  backend did.  A worker crash breaks the pool: the server rebuilds it,
+  requeues each in-flight job once, and fails a twice-crashed job with
+  a structured ``worker_crashed`` error.
 
 Endpoints (all JSON; responses use the CLI envelope where a command ran):
 
-====== ======================= ===========================================
-GET    ``/health``             liveness + version
-GET    ``/stats``              queue, tenant, store and uptime statistics
-POST   ``/jobs``               submit ``{"command", "design", ...}`` → 202
-GET    ``/jobs/<id>``          status, plus the envelope once terminal
-GET    ``/jobs/<id>/events``   server-sent events: live spans → result
-POST   ``/shutdown``           graceful stop (used by tests/smoke)
-====== ======================= ===========================================
+====== =========================== =======================================
+GET    ``/v1/health``              liveness + version
+GET    ``/v1/stats``               queue, tenant, executor, store stats
+POST   ``/v1/jobs``                submit a typed SubmitRequest → 202
+GET    ``/v1/jobs``                tenant-filtered listing w/ pagination
+GET    ``/v1/jobs/<id>``           status, plus the envelope once terminal
+GET    ``/v1/jobs/<id>/events``    server-sent events: spans → result
+POST   ``/v1/shutdown``            graceful drain-then-stop
+====== =========================== =======================================
 
-Progress streaming: the server subscribes a listener to the telemetry
-tracer; every span finished by the running job is forwarded over
-``loop.call_soon_threadsafe`` into the job's SSE subscriber queues as an
-``event: span`` frame, followed by a final ``event: result`` frame
+Progress streaming: a running job's span tree rides back with its
+result envelope; the server replays it to the job's SSE subscribers as
+``event: span`` frames, followed by the final ``event: result`` frame
 carrying the full envelope.
 """
 
@@ -40,16 +43,29 @@ from __future__ import annotations
 
 import asyncio
 import json
+import shutil
+import tempfile
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from .. import telemetry
 from ..envelope import active_cache_section, build_envelope
 from ..errors import ReproError
 from ..store.core import ArtifactStore, activate_store, active_store
-from .jobs import SERVICE_COMMANDS, ServiceJobFailed, run_service_job
+from .executor import BrokenProcessPool, JobExecutor
+from .jobs import SERVICE_COMMANDS
+from .protocol import (
+    API_PREFIX,
+    ErrorBody,
+    JobListing,
+    JobStatus,
+    ProtocolError,
+    StatsResponse,
+    SubmitAccepted,
+    SubmitRequest,
+)
 from .queue import (
     JobQueue,
     QuotaExceededError,
@@ -60,6 +76,9 @@ from .queue import (
 
 #: Submissions larger than this are rejected (413) before body read.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Hard cap on one listing page (clients page with limit/offset).
+MAX_LIST_LIMIT = 500
 
 _STATUS_TEXT = {
     200: "OK",
@@ -72,6 +91,12 @@ _STATUS_TEXT = {
     500: "Internal Server Error",
 }
 
+#: Headers added to every matched legacy (unversioned) route.
+_DEPRECATION_HEADERS = {
+    "Deprecation": "true",
+    "Link": f'<{API_PREFIX}>; rel="successor-version"',
+}
+
 
 class Server:
     """The long-running fingerprinting service (see module docstring).
@@ -80,12 +105,18 @@ class Server:
         host/port: Bind address; port 0 binds an ephemeral port
             (``self.port`` holds the real one after :meth:`start`).
         store: Artifact store to activate for the process, or ``None``
-            to build a memory-only one.
+            to build a memory-only one.  Worker processes always share
+            a *disk* tier: the store's root when it has one, otherwise
+            a temporary directory owned (and removed) by the server.
+        workers: Worker process count for the execution backend.
         default_quota: Quota applied to tenants without an explicit one.
         quotas: Per-tenant overrides, keyed by tenant name.
         trace_path: When set, spans of every job are accumulated and
             written as one Chrome trace file on shutdown (and job
             envelopes inline their span trees).
+        max_requests: Shut down gracefully after this many completed
+            jobs (CI use).
+        drain_grace_s: Bound on the shutdown wait for in-flight jobs.
     """
 
     def __init__(
@@ -93,28 +124,35 @@ class Server:
         host: str = "127.0.0.1",
         port: int = 8765,
         store: Optional[ArtifactStore] = None,
+        workers: int = 1,
         default_quota: Optional[TenantQuota] = None,
         quotas: Optional[Dict[str, TenantQuota]] = None,
         trace_path: Optional[str] = None,
         max_requests: Optional[int] = None,
+        drain_grace_s: float = 60.0,
     ) -> None:
         self.host = host
         self.port = port
         self.store = store
+        self.workers = max(1, int(workers))
         self.default_quota = default_quota
         self.quotas = quotas
         self.trace_path = trace_path
-        #: Shut down gracefully after this many completed jobs (CI use).
         self.max_requests = max_requests
+        self.drain_grace_s = drain_grace_s
         self.queue: Optional[JobQueue] = None
         self.started_at: Optional[float] = None
+        self.deprecated_hits: Dict[str, int] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._executor: Optional[ThreadPoolExecutor] = None
-        self._worker_task: Optional[asyncio.Task] = None
+        self._backend: Optional[JobExecutor] = None
+        self._dispatch_task: Optional[asyncio.Task] = None
+        self._active: set = set()
+        self._slots: Optional[asyncio.Semaphore] = None
         self._stop: Optional[asyncio.Event] = None
-        self._current_job: Optional[ServiceJob] = None
+        self._draining = False
         self._span_payloads: list = []
+        self._store_tmp: Optional[str] = None
         self._thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------ #
@@ -122,27 +160,40 @@ class Server:
     # ------------------------------------------------------------------ #
 
     async def start(self) -> None:
-        """Bind the socket, activate the store, start the worker."""
+        """Bind the socket, activate the store, start the backend."""
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
+        self._draining = False
         self.queue = JobQueue(self.default_quota, self.quotas)
         if active_store() is None or self.store is not None:
             activate_store(self.store)
-            self.store = active_store()
+        self.store = active_store()
         telemetry.enable(trace=bool(self.trace_path), metrics=True)
-        telemetry.get_tracer().add_listener(self._on_span)
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-service"
-        )
+        worker_root = self.store.root if self.store is not None else None
+        if worker_root is None:
+            # No disk tier configured: give the workers a private shared
+            # root anyway, so artifacts made warm by one worker process
+            # are warm for all of them.  Removed on shutdown.
+            self._store_tmp = tempfile.mkdtemp(prefix="repro-service-store-")
+            worker_root = self._store_tmp
+        self._backend = JobExecutor(
+            workers=self.workers,
+            store_root=worker_root,
+            memory_entries=(
+                self.store.memory_entries if self.store is not None else 128
+            ),
+            include_spans=bool(self.trace_path),
+        ).start()
+        self._slots = asyncio.Semaphore(self.workers)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self.started_at = time.time()
-        self._worker_task = asyncio.ensure_future(self._worker())
+        self._dispatch_task = asyncio.ensure_future(self._dispatcher())
 
     async def serve_forever(self) -> None:
-        """Block until :meth:`shutdown` (or ``POST /shutdown``)."""
+        """Block until :meth:`shutdown` (or ``POST /v1/shutdown``)."""
         assert self._stop is not None
         await self._stop.wait()
         await self._shutdown_async()
@@ -164,14 +215,17 @@ class Server:
                 pass  # loop already closed — server is down
 
     async def _shutdown_async(self) -> None:
-        if self._worker_task is not None:
-            self._worker_task.cancel()
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-        telemetry.get_tracer().remove_listener(self._on_span)
+        # Graceful drain: let every dispatched job finish (bounded) so
+        # no verdict computed by a worker is thrown away at shutdown.
+        if self._active:
+            await asyncio.wait(set(self._active), timeout=self.drain_grace_s)
+        if self._backend is not None:
+            self._backend.shutdown(wait=True)
         if self.trace_path and self._span_payloads:
             from ..telemetry import span_from_dict, write_chrome_trace
 
@@ -179,14 +233,17 @@ class Server:
                 self.trace_path,
                 [span_from_dict(p) for p in self._span_payloads],
             )
+        if self._store_tmp is not None:
+            shutil.rmtree(self._store_tmp, ignore_errors=True)
+            self._store_tmp = None
 
     # -------------------- test/embedding helpers ---------------------- #
 
     def start_in_thread(self, timeout: float = 30.0) -> "Server":
         """Run the whole server on a daemon thread; returns when bound.
 
-        The embedding pattern behind the test suite and the smoke
-        script: the caller keeps its thread, talks HTTP to
+        The embedding pattern behind the test suite and the load
+        harness: the caller keeps its thread, talks HTTP to
         ``self.port``, and finally calls :meth:`stop_thread`.
         """
         ready = threading.Event()
@@ -211,50 +268,93 @@ class Server:
             self._thread.join(timeout)
 
     # ------------------------------------------------------------------ #
-    # execution worker
+    # job dispatch (multi-process backend)
     # ------------------------------------------------------------------ #
 
-    async def _worker(self) -> None:
-        assert self.queue is not None and self._loop is not None
+    async def _dispatcher(self) -> None:
+        """Feed queued jobs to the worker pool, one slot per worker.
+
+        The semaphore keeps at most ``workers`` jobs dispatched, so
+        tenant-fair ordering is decided by the queue at the moment a
+        worker actually frees up, not by a long pool-internal backlog.
+        """
+        assert self.queue is not None and self._slots is not None
         while True:
             job = await self.queue.next_job()
-            self.queue.mark_running(job)
-            self._current_job = job
-            budget = self.queue.quota_for(job.tenant).budget
-            try:
-                envelope = await self._loop.run_in_executor(
-                    self._executor,
-                    run_service_job,
-                    job.command,
-                    job.payload,
-                    budget,
-                    bool(self.trace_path),
-                )
-            except ServiceJobFailed as exc:
-                job.envelope = exc.envelope
-                self._collect_spans(exc.envelope)
-                self.queue.mark_failed(job, str(exc))
-            except Exception as exc:  # noqa: BLE001 - job must not kill worker
-                self.queue.mark_failed(
-                    job, f"{type(exc).__name__}: {exc}"
-                )
+            await self._slots.acquire()
+            task = asyncio.ensure_future(self._run_one(job))
+            self._active.add(task)
+            task.add_done_callback(self._job_task_done)
+
+    def _job_task_done(self, task: "asyncio.Task") -> None:
+        self._active.discard(task)
+        if self._slots is not None:
+            self._slots.release()
+
+    async def _run_one(self, job: ServiceJob) -> None:
+        assert self.queue is not None and self._backend is not None
+        self.queue.mark_running(job)
+        budget = self.queue.quota_for(job.tenant).budget
+        generation = self._backend.generation
+        try:
+            generation, future = self._backend.submit(
+                job.command, job.payload, budget
+            )
+            pid, envelope = await asyncio.wrap_future(future)
+        except BrokenProcessPool:
+            # A worker died and took the pool with it.  Rebuild (first
+            # observer wins), then salvage: requeue this job once; a
+            # job that was in flight across two crashes is the likely
+            # culprit and fails with a structured error.
+            self._backend.rebuild(generation)
+            if job.attempts < 1:
+                self.queue.requeue(job)
             else:
-                self._collect_spans(envelope)
-                self.queue.mark_done(job, envelope)
-            finally:
-                self._current_job = None
-            served = self.queue.counters["done"] + self.queue.counters["failed"]
-            if self.max_requests is not None and served >= self.max_requests:
-                await self._drain_then_stop()
-                return
+                self.queue.mark_failed(
+                    job,
+                    "worker process crashed twice while executing this "
+                    "job; not requeued again",
+                    code="worker_crashed",
+                )
+                self._after_terminal()
+            return
+        except Exception as exc:  # noqa: BLE001 - job must not kill dispatch
+            self.queue.mark_failed(
+                job, f"{type(exc).__name__}: {exc}", code="internal"
+            )
+            self._after_terminal()
+            return
+        self._backend.note_result(pid)
+        self._replay_spans(job, envelope)
+        self._collect_spans(envelope)
+        if envelope.get("ok"):
+            self.queue.mark_done(job, envelope)
+        else:
+            job.envelope = envelope
+            result = envelope.get("result") or {}
+            self.queue.mark_failed(
+                job, str(result.get("error", "job failed")), code="job_error"
+            )
+        self._after_terminal()
+
+    def _after_terminal(self) -> None:
+        assert self.queue is not None
+        served = self.queue.counters["done"] + self.queue.counters["failed"]
+        if (
+            self.max_requests is not None
+            and served >= self.max_requests
+            and not self._draining
+        ):
+            self._draining = True
+            asyncio.ensure_future(self._drain_then_stop())
 
     async def _drain_then_stop(self, grace_s: float = 10.0) -> None:
         """Stop once every finished job's result has reached a client.
 
         Closing the listening socket the instant the last job completes
-        would race the client still polling ``GET /jobs/<id>`` for its
-        envelope; wait (bounded by ``grace_s``) until each terminal job
-        has been collected at least once.
+        would race the client still polling ``GET /v1/jobs/<id>`` for
+        its envelope; wait (bounded by ``grace_s``) until each terminal
+        job has been collected at least once.
         """
         deadline = time.monotonic() + grace_s
         while time.monotonic() < deadline:
@@ -274,20 +374,29 @@ class Server:
                 envelope.get("telemetry", {}).get("spans") or []
             )
 
-    def _on_span(self, span) -> None:
-        """Tracer listener (runs on the worker thread mid-job)."""
-        job = self._current_job
-        if job is None or self._loop is None or not job.subscribers:
+    def _replay_spans(self, job: ServiceJob, envelope: Dict[str, Any]) -> None:
+        """Forward the job's span tree to its SSE subscribers.
+
+        The single-thread backend streamed spans live from a tracer
+        listener; worker processes ship the tree back with the result
+        instead, and it is replayed here (flattened, parents first)
+        before the ``result`` frame.
+        """
+        if not job.subscribers:
             return
-        event = {
-            "event": "span",
-            "data": {
-                "name": span.name,
-                "duration": span.duration,
-                "attrs": dict(span.attrs),
-            },
-        }
-        self._loop.call_soon_threadsafe(self.queue.publish, job, event)
+        spans = (envelope.get("telemetry") or {}).get("spans") or []
+        stack = list(reversed(spans))
+        while stack:
+            payload = stack.pop()
+            self.queue.publish(job, {
+                "event": "span",
+                "data": {
+                    "name": payload.get("name"),
+                    "duration": payload.get("duration"),
+                    "attrs": payload.get("attrs", {}),
+                },
+            })
+            stack.extend(reversed(payload.get("children") or []))
 
     # ------------------------------------------------------------------ #
     # HTTP front end
@@ -340,17 +449,59 @@ class Server:
         writer: asyncio.StreamWriter,
         status: int,
         payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, indent=2, default=str).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n"
-            "\r\n"
-        ).encode("latin-1")
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         writer.write(head + body)
         await writer.drain()
+
+    async def _error(
+        self,
+        writer: asyncio.StreamWriter,
+        body: ErrorBody,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        await self._respond(writer, body.status, body.as_dict(), extra_headers)
+
+    @staticmethod
+    def _match(method: str, path: str) -> Tuple[Optional[str], Optional[str]]:
+        """Resolve a normalized (version-stripped) path to a route name."""
+        if path == "/health":
+            return ("health" if method == "GET" else "method_not_allowed"), None
+        if path == "/stats":
+            return ("stats" if method == "GET" else "method_not_allowed"), None
+        if path == "/shutdown":
+            return (
+                "shutdown" if method == "POST" else "method_not_allowed"
+            ), None
+        if path == "/jobs":
+            if method == "POST":
+                return "submit", None
+            if method == "GET":
+                return "list", None
+            return "method_not_allowed", None
+        if path.startswith("/jobs/"):
+            job_id, _, tail = path[len("/jobs/"):].partition("/")
+            if tail == "" and method == "GET":
+                return "job", job_id
+            if tail == "events" and method == "GET":
+                return "events", job_id
+            if tail in ("", "events"):
+                return "method_not_allowed", None
+        return None, None
+
+    def _note_deprecated(self, path: str) -> None:
+        self.deprecated_hits[path] = self.deprecated_hits.get(path, 0) + 1
+        telemetry.count("service.deprecated_route")
 
     async def _route(
         self,
@@ -361,102 +512,169 @@ class Server:
         writer: asyncio.StreamWriter,
     ) -> None:
         assert self.queue is not None
+        url = urlsplit(path)
+        raw_path, query = url.path, parse_qs(url.query)
+        versioned = raw_path == API_PREFIX or raw_path.startswith(
+            API_PREFIX + "/"
+        )
+        norm = raw_path[len(API_PREFIX):] if versioned else raw_path
+        hdrs: Optional[Dict[str, str]] = None
+        route, arg = self._match(method, norm)
+        if route is not None and not versioned:
+            # A matched legacy alias: same handler, same bytes, plus the
+            # migration signal.
+            self._note_deprecated(norm)
+            hdrs = dict(_DEPRECATION_HEADERS)
         if body == b"__TOO_LARGE__":
-            await self._respond(writer, 413, {"error": "request body too large"})
+            await self._error(writer, ErrorBody(
+                "request body too large", "payload_too_large",
+                {"max_bytes": MAX_BODY_BYTES},
+            ), hdrs)
             return
-        if path == "/health" and method == "GET":
+        if route is None:
+            await self._error(writer, ErrorBody(
+                f"no route for {method} {raw_path}", "not_found"), hdrs)
+            return
+        if route == "method_not_allowed":
+            await self._error(writer, ErrorBody(
+                f"method {method} not allowed on {norm}",
+                "method_not_allowed",
+            ), hdrs)
+            return
+        if route == "health":
             from .. import __version__
 
             await self._respond(writer, 200, {
                 "status": "ok",
                 "version": __version__,
+                "api": API_PREFIX,
                 "uptime_s": time.time() - (self.started_at or time.time()),
-            })
+            }, hdrs)
             return
-        if path == "/stats" and method == "GET":
-            await self._respond(writer, 200, self._stats_envelope())
+        if route == "stats":
+            await self._respond(writer, 200, self._stats_envelope(), hdrs)
             return
-        if path == "/jobs" and method == "POST":
-            await self._submit(headers, body, writer)
-            return
-        if path == "/shutdown" and method == "POST":
-            await self._respond(writer, 200, {"status": "stopping"})
+        if route == "shutdown":
+            await self._respond(writer, 200, {"status": "stopping"}, hdrs)
             self._stop.set()
             return
-        if path.startswith("/jobs/") and method == "GET":
-            job_id, _, tail = path[len("/jobs/"):].partition("/")
-            try:
-                job = self.queue.get(job_id)
-            except UnknownJobError as exc:
-                await self._respond(writer, 404, {"error": str(exc)})
-                return
-            if tail == "events":
-                await self._stream_events(job, writer)
-            elif tail == "":
-                payload = job.describe()
-                if job.envelope is not None:
-                    payload["envelope"] = job.envelope
-                await self._respond(writer, 200, payload)
-                if job.terminal:
-                    job.collected = True
-            else:
-                await self._respond(writer, 404, {"error": f"no route {path!r}"})
+        if route == "submit":
+            await self._submit(headers, body, writer, hdrs)
+            return
+        if route == "list":
+            await self._list_jobs(query, writer, hdrs)
+            return
+        # job status / SSE stream
+        try:
+            job = self.queue.get(arg or "")
+        except UnknownJobError as exc:
+            await self._error(writer, ErrorBody(
+                str(exc.message or exc), "unknown_job"), hdrs)
+            return
+        if route == "events":
+            await self._stream_events(job, writer)
             return
         await self._respond(
-            writer,
-            405 if path in ("/jobs", "/health", "/stats", "/shutdown") else 404,
-            {"error": f"no route for {method} {path}"},
+            writer, 200, JobStatus.from_job(job).as_dict(), hdrs
         )
+        if job.terminal:
+            job.collected = True
+
+    def _executor_stats(self) -> Dict[str, Any]:
+        stats = (
+            self._backend.stats() if self._backend is not None
+            else {"backend": "none"}
+        )
+        stats["in_flight"] = len(self._active)
+        return stats
 
     def _stats_envelope(self) -> Dict[str, Any]:
-        result: Dict[str, Any] = {
-            "uptime_s": time.time() - (self.started_at or time.time()),
-            "commands": list(SERVICE_COMMANDS),
+        result = StatsResponse(
+            uptime_s=time.time() - (self.started_at or time.time()),
+            commands=list(SERVICE_COMMANDS),
+            executor=self._executor_stats(),
+            deprecated={
+                "hits": sum(self.deprecated_hits.values()),
+                "by_route": dict(sorted(self.deprecated_hits.items())),
+            },
             **self.queue.stats(),
-        }
+        )
         return build_envelope(
             "stats",
-            result,
+            result.as_dict(),
             telemetry.telemetry_snapshot([]),
             active_cache_section(),
         )
 
     async def _submit(
-        self, headers: Dict[str, str], body: bytes, writer: asyncio.StreamWriter
+        self,
+        headers: Dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        hdrs: Optional[Dict[str, str]],
     ) -> None:
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            await self._respond(writer, 400, {"error": f"bad JSON body: {exc}"})
+            await self._error(writer, ErrorBody(
+                f"bad JSON body: {exc}", "bad_json"), hdrs)
             return
-        if not isinstance(payload, dict):
-            await self._respond(writer, 400, {"error": "body must be an object"})
-            return
-        command = payload.get("command")
-        if command not in SERVICE_COMMANDS:
-            await self._respond(writer, 400, {
-                "error": f"unknown command {command!r}",
-                "commands": list(SERVICE_COMMANDS),
-            })
-            return
-        tenant = str(
-            payload.get("tenant") or headers.get("x-tenant") or "anonymous"
-        )
         try:
-            job = self.queue.submit(command, payload, tenant)
+            request = SubmitRequest.parse(payload, headers)
+        except ProtocolError as exc:
+            await self._error(writer, exc.body, hdrs)
+            return
+        try:
+            job = self.queue.submit(
+                request.command, request.payload, request.tenant
+            )
         except QuotaExceededError as exc:
-            await self._respond(writer, 429, {"error": str(exc)})
+            await self._error(writer, ErrorBody(
+                str(exc.message or exc), "quota_exceeded",
+                {"tenant": request.tenant},
+            ), hdrs)
             return
         except ReproError as exc:
-            await self._respond(writer, 400, {"error": exc.diagnostic()})
+            await self._error(writer, ErrorBody(
+                exc.diagnostic(), "job_error"), hdrs)
             return
-        await self._respond(writer, 202, {
-            "job_id": job.job_id,
-            "status": job.status,
-            "tenant": tenant,
-            "poll": f"/jobs/{job.job_id}",
-            "stream": f"/jobs/{job.job_id}/events",
-        })
+        await self._respond(
+            writer, 202, SubmitAccepted.from_job(job).as_dict(), hdrs
+        )
+
+    async def _list_jobs(
+        self,
+        query: Dict[str, list],
+        writer: asyncio.StreamWriter,
+        hdrs: Optional[Dict[str, str]],
+    ) -> None:
+        tenant = (query.get("tenant") or [None])[0]
+        try:
+            limit = int((query.get("limit") or [50])[0])
+            offset = int((query.get("offset") or [0])[0])
+        except ValueError:
+            await self._error(writer, ErrorBody(
+                "limit and offset must be integers", "invalid_field",
+                {"field": "limit/offset"},
+            ), hdrs)
+            return
+        if limit < 1 or limit > MAX_LIST_LIMIT or offset < 0:
+            await self._error(writer, ErrorBody(
+                f"limit must be in [1, {MAX_LIST_LIMIT}] and offset >= 0",
+                "invalid_field",
+                {"field": "limit/offset"},
+            ), hdrs)
+            return
+        total, page = self.queue.list_jobs(tenant, limit, offset)
+        listing = JobListing(
+            jobs=[JobStatus.from_job(job, include_envelope=False)
+                  for job in page],
+            total=total,
+            limit=limit,
+            offset=offset,
+            tenant=tenant,
+        )
+        await self._respond(writer, 200, listing.as_dict(), hdrs)
 
     async def _stream_events(
         self, job: ServiceJob, writer: asyncio.StreamWriter
@@ -505,6 +723,7 @@ def serve(
     port: int = 8765,
     store_dir: Optional[str] = None,
     memory_entries: int = 128,
+    workers: int = 1,
     default_quota: Optional[TenantQuota] = None,
     quotas: Optional[Dict[str, TenantQuota]] = None,
     trace_path: Optional[str] = None,
@@ -519,10 +738,11 @@ def serve(
         host=host,
         port=port,
         store=store,
+        workers=workers,
         default_quota=default_quota,
         quotas=quotas,
         trace_path=trace_path,
     )
 
 
-__all__ = ["MAX_BODY_BYTES", "Server", "serve"]
+__all__ = ["MAX_BODY_BYTES", "MAX_LIST_LIMIT", "Server", "serve"]

@@ -3,6 +3,12 @@
 One in-thread server (ephemeral port) backs the whole module; each test
 that cares about warm/cold behaviour uses a uniquely named design so the
 shared artifact store cannot leak warmth between tests.
+
+The ``client`` fixture is parametrized over both API surfaces — the
+versioned ``/v1`` routes and the deprecated unversioned aliases — so
+every behaviour here is asserted against both (ISSUE 9 acceptance
+criterion).  Warm/cold tests fold the surface name into their design
+names: the two parametrizations must not share store warmth.
 """
 
 from __future__ import annotations
@@ -53,9 +59,11 @@ def server():
     telemetry.get_registry().reset()
 
 
-@pytest.fixture(scope="module")
-def client(server):
-    return ServiceClient(port=server.port)
+@pytest.fixture(scope="module", params=["v1", "legacy"])
+def client(server, request):
+    return ServiceClient(
+        port=server.port, api_version=request.param, retry_429=0
+    )
 
 
 class TestEndpoints:
@@ -73,16 +81,28 @@ class TestEndpoints:
         assert stats["command"] == "stats"
         assert "telemetry" in stats and "cache" in stats
         assert set(stats["result"]["jobs"]) == {
-            "submitted", "rejected", "done", "failed",
+            "submitted", "rejected", "done", "failed", "requeued",
         }
         assert "queue_depth" in stats["result"]
+        executor = stats["result"]["executor"]
+        assert executor["backend"] == "process"
+        assert executor["workers"] == 1
+        assert executor["crashes"] == 0
 
     def test_unknown_command_is_400(self, client):
         with pytest.raises(ServiceHttpError) as excinfo:
             client.submit("frobnicate", design=blif("x"))
         assert excinfo.value.status == 400
+        assert excinfo.value.code == "unknown_command"
         assert "frobnicate" in str(excinfo.value.payload["error"])
         assert "batch" in excinfo.value.payload["commands"]
+
+    def test_mistyped_field_is_structured_400(self, client):
+        with pytest.raises(ServiceHttpError) as excinfo:
+            client.submit("locate", design=123)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "invalid_field"
+        assert excinfo.value.payload["field"] == "design"
 
     def test_bad_json_is_400(self, client):
         import http.client
@@ -90,7 +110,7 @@ class TestEndpoints:
         connection = http.client.HTTPConnection(client.host, client.port)
         try:
             connection.request(
-                "POST", "/jobs", body="{not json",
+                "POST", client._prefix + "/jobs", body="{not json",
                 headers={"Content-Type": "application/json"},
             )
             response = connection.getresponse()
@@ -102,21 +122,32 @@ class TestEndpoints:
         with pytest.raises(ServiceHttpError) as excinfo:
             client.job("no-such-job")
         assert excinfo.value.status == 404
+        assert excinfo.value.code == "unknown_job"
 
     def test_unknown_route_is_404(self, client):
         with pytest.raises(ServiceHttpError) as excinfo:
             client._request("GET", "/nope")
         assert excinfo.value.status == 404
+        assert excinfo.value.code == "not_found"
+
+    def test_method_not_allowed_is_405(self, client):
+        with pytest.raises(ServiceHttpError) as excinfo:
+            client._request("DELETE", "/jobs")
+        assert excinfo.value.status == 405
+        assert excinfo.value.code == "method_not_allowed"
 
     def test_quota_exhausted_is_429(self, client):
         with pytest.raises(ServiceHttpError) as excinfo:
             client.submit("locate", design=blif("q"), tenant="limited")
         assert excinfo.value.status == 429
+        assert excinfo.value.code == "quota_exceeded"
 
 
 class TestJobExecution:
     def test_locate_round_trip(self, client):
-        envelope = client.run("locate", design=blif("rt"), format="blif")
+        envelope = client.run(
+            "locate", design=blif(f"rt_{client.api_version}"), format="blif"
+        )
         assert envelope["ok"] is True
         assert envelope["command"] == "locate"
         assert envelope["result"]["n_locations"] >= 1
@@ -125,10 +156,10 @@ class TestJobExecution:
         assert "cache" in envelope
 
     def test_warm_resubmission_skips_all_derivation(self, client):
-        """The PR's acceptance criterion: an identical resubmission is
+        """The PR 7 acceptance criterion: an identical resubmission is
         served from the store (no IR compile, CNF encode, or catalog
         build of its own) with a bit-identical verdict."""
-        text = blif("warmpair")
+        text = blif(f"warmpair_{client.api_version}")
         cold = client.run("batch", design=text, n_copies=2,
                           options={"seed": 7})
         warm = client.run("batch", design=text, n_copies=2,
@@ -162,8 +193,20 @@ class TestJobExecution:
         assert envelope["ok"] is False
         assert "error" in envelope["result"]
 
+    def test_failed_job_status_carries_error_code(self, client):
+        submitted = client.submit("locate", design="also not blif",
+                                  format="blif")
+        with pytest.raises(ServiceHttpError):
+            client.wait(submitted["job_id"])
+        status = client.job(submitted["job_id"])
+        assert status["status"] == "failed"
+        assert status["error_code"] == "job_error"
+        assert status["attempts"] == 0
+
     def test_events_stream_ends_with_result(self, client):
-        submitted = client.submit("locate", design=blif("sse"), format="blif")
+        submitted = client.submit(
+            "locate", design=blif(f"sse_{client.api_version}"), format="blif"
+        )
         events = list(client.events(submitted["job_id"]))
         assert events, "stream yielded nothing"
         assert events[-1]["event"] == "result"
@@ -172,15 +215,33 @@ class TestJobExecution:
         assert payload["envelope"]["ok"] is True
 
     def test_verify_command(self, client):
-        text = blif("verifyme")
+        text = blif(f"verifyme_{client.api_version}")
         envelope = client.run("verify", design=text, suspect=text)
         assert envelope["result"]["equivalent"] is True
 
     def test_prepare_command(self, client):
-        envelope = client.run("prepare", design=blif("prep"))
+        envelope = client.run(
+            "prepare", design=blif(f"prep_{client.api_version}")
+        )
         assert envelope["ok"] is True
         assert len(envelope["result"]["digest"]) == 64
         assert envelope["result"]["prepared"] is True
+
+    def test_job_listing_paginates(self, client):
+        tenant = f"pager_{client.api_version}"
+        for i in range(3):
+            client.run("prepare", design=blif(f"{tenant}_{i}"), tenant=tenant)
+        listing = client.jobs(tenant=tenant, limit=2, offset=0)
+        assert listing["total"] == 3
+        assert len(listing["jobs"]) == 2
+        rest = client.jobs(tenant=tenant, limit=2, offset=2)
+        assert len(rest["jobs"]) == 1
+        ids = [j["job_id"] for j in listing["jobs"] + rest["jobs"]]
+        assert len(set(ids)) == 3
+        # Submission order, oldest first; statuses all terminal.
+        assert all(j["status"] == "done" for j in listing["jobs"])
+        # Listings never inline envelopes.
+        assert all("envelope" not in j for j in listing["jobs"])
 
 
 class TestRunServiceJob:

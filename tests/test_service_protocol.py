@@ -1,0 +1,245 @@
+"""Tests for the typed ``/v1`` protocol and the legacy-alias parity.
+
+Covers the ISSUE 9 API-redesign satellites: protocol validation units,
+``/v1``-vs-legacy byte-for-byte body parity, the ``Deprecation``
+migration signals, listing pagination validation, and the reworked
+:class:`ServiceClient` (keyword-only constructor shim, ``submit_many``,
+429 retry-with-backoff).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.service import (
+    ERROR_CODES,
+    ErrorBody,
+    JobStatus,
+    ProtocolError,
+    Server,
+    ServiceClient,
+    ServiceHttpError,
+    SubmitRequest,
+    TenantQuota,
+)
+from repro.service.queue import ServiceJob
+from repro.store import deactivate_store
+
+
+def blif(name: str) -> str:
+    """A small unique-by-name BLIF design (fig1 with an extra output)."""
+    return f"""\
+.model {name}
+.inputs a b c d
+.outputs f
+.names a b x
+11 1
+.names c d y
+1- 1
+-1 1
+.names x y f
+11 1
+.end
+"""
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = Server(
+        port=0,
+        quotas={"limited": TenantQuota(max_pending=0)},
+    )
+    srv.start_in_thread()
+    yield srv
+    srv.stop_thread()
+    deactivate_store()
+    telemetry.disable()
+    telemetry.get_tracer().reset()
+    telemetry.get_registry().reset()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+def raw_get(server, path):
+    """``(status, headers, body_bytes)`` of a GET, no client sugar."""
+    connection = http.client.HTTPConnection("127.0.0.1", server.port)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+class TestProtocolUnits:
+    def test_submit_request_requires_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            SubmitRequest.parse(["not", "an", "object"])
+        assert excinfo.value.code == "invalid_body"
+        assert excinfo.value.body.status == 400
+
+    def test_submit_request_type_checks_fields(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            SubmitRequest.parse({"command": "locate", "n_copies": "four"})
+        assert excinfo.value.code == "invalid_field"
+        assert excinfo.value.details["field"] == "n_copies"
+
+    def test_submit_request_rejects_unknown_command(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            SubmitRequest.parse({"command": "frobnicate"})
+        assert excinfo.value.code == "unknown_command"
+        assert "locate" in excinfo.value.details["commands"]
+
+    def test_submit_request_tenant_fallbacks(self):
+        body = {"command": "locate", "design": "x"}
+        assert SubmitRequest.parse(dict(body)).tenant == "anonymous"
+        assert SubmitRequest.parse(
+            dict(body), headers={"x-tenant": "acme"}
+        ).tenant == "acme"
+        assert SubmitRequest.parse(
+            dict(body, tenant="inline"), headers={"x-tenant": "acme"}
+        ).tenant == "inline"
+
+    def test_error_body_keeps_legacy_keys(self):
+        body = ErrorBody(
+            "unknown command", "unknown_command", {"commands": ["locate"]}
+        )
+        assert body.status == 400
+        assert body.as_dict() == {
+            "error": "unknown command",
+            "code": "unknown_command",
+            "commands": ["locate"],
+        }
+
+    def test_error_codes_map_to_http_statuses(self):
+        assert ERROR_CODES["quota_exceeded"] == 429
+        assert ERROR_CODES["worker_crashed"] == 500
+        assert ErrorBody("x", "no_such_code").status == 500
+
+    def test_job_status_matches_describe(self):
+        job = ServiceJob(job_id="j1", tenant="t", command="locate",
+                         payload={}, serial=1)
+        status = JobStatus.from_job(job)
+        assert status.as_dict() == job.describe()
+        job.envelope = {"ok": True}
+        assert JobStatus.from_job(job).as_dict()["envelope"] == {"ok": True}
+        listed = JobStatus.from_job(job, include_envelope=False)
+        assert "envelope" not in listed.as_dict()
+
+
+class TestRouteParity:
+    """Legacy aliases must serve the exact ``/v1`` bytes, plus headers."""
+
+    def test_terminal_job_body_is_byte_identical(self, server, client):
+        submitted = client.submit("prepare", design=blif("parity"))
+        client.wait(submitted["job_id"])
+        path = f"/jobs/{submitted['job_id']}"
+        s1, h1, b1 = raw_get(server, "/v1" + path)
+        s2, h2, b2 = raw_get(server, path)
+        assert s1 == s2 == 200
+        assert b1 == b2
+        assert "Deprecation" not in h1
+        assert h2["Deprecation"] == "true"
+        assert 'rel="successor-version"' in h2["Link"]
+
+    def test_error_body_is_byte_identical(self, server):
+        s1, h1, b1 = raw_get(server, "/v1/jobs/nope")
+        s2, h2, b2 = raw_get(server, "/jobs/nope")
+        assert s1 == s2 == 404
+        assert b1 == b2
+        assert json.loads(b1)["code"] == "unknown_job"
+        assert "Deprecation" not in h1 and h2["Deprecation"] == "true"
+
+    def test_deprecated_hits_are_counted(self, server, client):
+        before = client.stats()["result"]["deprecated"]["hits"]
+        raw_get(server, "/health")
+        raw_get(server, "/stats")
+        after = client.stats()["result"]
+        assert after["deprecated"]["hits"] >= before + 2
+        assert after["deprecated"]["by_route"].get("/health", 0) >= 1
+
+    def test_unmatched_routes_get_no_deprecation_header(self, server):
+        # Only *matched* legacy aliases are deprecated; garbage is just 404.
+        _, headers, _ = raw_get(server, "/completely/unknown")
+        assert "Deprecation" not in headers
+
+
+class TestListingValidation:
+    def test_limit_bounds(self, client):
+        with pytest.raises(ServiceHttpError) as excinfo:
+            client.jobs(limit=0)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "invalid_field"
+        with pytest.raises(ServiceHttpError):
+            client.jobs(limit=10_000)
+        with pytest.raises(ServiceHttpError):
+            client.jobs(offset=-1)
+
+    def test_non_integer_limit_is_400(self, server):
+        status, _, body = raw_get(server, "/v1/jobs?limit=lots")
+        assert status == 400
+        assert json.loads(body)["code"] == "invalid_field"
+
+    def test_tenant_filter(self, client):
+        client.run("prepare", design=blif("filter_a"), tenant="filter-a")
+        client.run("prepare", design=blif("filter_b"), tenant="filter-b")
+        only_a = client.jobs(tenant="filter-a")
+        assert only_a["total"] == 1
+        assert only_a["jobs"][0]["tenant"] == "filter-a"
+        assert only_a["tenant"] == "filter-a"
+
+
+class TestClientRework:
+    def test_positional_args_warn_but_work(self, server):
+        with pytest.warns(DeprecationWarning):
+            shim = ServiceClient("127.0.0.1", server.port, 30.0)
+        assert (shim.host, shim.port, shim.timeout) == (
+            "127.0.0.1", server.port, 30.0
+        )
+        assert shim.health()["status"] == "ok"
+
+    def test_too_many_positionals_is_type_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                ServiceClient("127.0.0.1", 1, 1.0, "extra")
+
+    def test_unknown_api_version_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceClient(api_version="v2")
+
+    def test_submit_many(self, client):
+        accepted = client.submit_many([
+            ("prepare", {"design": blif("many_a")}),
+            ("prepare", {"design": blif("many_b")}),
+        ])
+        assert len(accepted) == 2
+        for body in accepted:
+            envelope = client.wait(body["job_id"])
+            assert envelope["ok"] is True
+
+    def test_429_is_retried_with_backoff(self, server):
+        retrying = ServiceClient(
+            port=server.port, retry_429=2, backoff_s=0.05
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceHttpError) as excinfo:
+            retrying.submit("locate", design=blif("r429"), tenant="limited")
+        elapsed = time.monotonic() - started
+        assert excinfo.value.status == 429
+        # Two retries: sleeps of 0.05 and 0.10 before the final raise.
+        assert elapsed >= 0.15
+
+    def test_429_not_retried_when_disabled(self, server):
+        impatient = ServiceClient(port=server.port, retry_429=0)
+        started = time.monotonic()
+        with pytest.raises(ServiceHttpError):
+            impatient.submit("locate", design=blif("nr429"), tenant="limited")
+        assert time.monotonic() - started < 0.1
