@@ -1,0 +1,247 @@
+"""Adversarial robustness benchmark: the attack suite across designs.
+
+Runs every attack engine (:mod:`repro.attack`) against fingerprinted
+copies of the bundled benchmarks and records the robustness matrix —
+fingerprint bits surviving each attack versus its area/delay cost — into
+``BENCH_attacks.json`` at the repository root, plus an HTML rendering of
+the matrix in ``BENCH_attacks.html``.
+
+Acceptance gates (always enforced):
+
+* **equivalence:** every attacked copy must verify functionally
+  equivalent to the victim copy through the verification ladder — an
+  attack that breaks function is a bug in the attack engine, not a
+  robustness result;
+* **renaming resilience:** the pure renaming and pin-remapping attacks
+  must leave the fingerprint fully readable (structural extraction is
+  name-agnostic by construction);
+* **determinism:** re-running the suite on the smallest design under the
+  same seed must reproduce the robustness matrix bit-for-bit
+  (timing fields excluded).
+
+Standalone usage::
+
+    python benchmarks/bench_attacks.py           # full matrix (c17, C432, k2)
+    python benchmarks/bench_attacks.py --smoke   # CI-sized (c17, k2)
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.attack import ATTACK_NAMES, AttackConfig, run_attack_suite  # noqa: E402
+from repro.bench.data import data_path  # noqa: E402
+from repro.bench.suite import build_benchmark  # noqa: E402
+from repro.netlist import read_blif  # noqa: E402
+from repro.techmap import map_network  # noqa: E402
+
+RECORD_PATH = REPO_ROOT / "BENCH_attacks.json"
+HTML_PATH = REPO_ROOT / "BENCH_attacks.html"
+
+FULL_DESIGNS = ("c17", "C432", "k2")
+SMOKE_DESIGNS = ("c17", "k2")
+
+#: The design the determinism gate re-runs (smallest = cheapest).
+DETERMINISM_DESIGN = "c17"
+
+
+def load_design(name: str):
+    if name == "c17":
+        return map_network(read_blif(data_path("c17.blif")))
+    return build_benchmark(name)
+
+
+def suite_config(smoke: bool, seed: int) -> AttackConfig:
+    if smoke:
+        return AttackConfig(seed=seed, n_vectors=128, max_passes=3)
+    return AttackConfig(seed=seed, n_vectors=256, max_passes=8)
+
+
+def _strip_timing(value: Any) -> Any:
+    """Drop wall-clock fields so records can be compared bit-for-bit."""
+    if isinstance(value, dict):
+        return {
+            k: _strip_timing(v)
+            for k, v in value.items()
+            if k not in ("seconds", "suite_seconds")
+        }
+    if isinstance(value, list):
+        return [_strip_timing(v) for v in value]
+    return value
+
+
+def run_design(name: str, config: AttackConfig) -> Dict[str, Any]:
+    design = load_design(name)
+    start = time.perf_counter()
+    report = run_attack_suite(design, config=config)
+    elapsed = time.perf_counter() - start
+    record = report.as_dict()
+    record["suite_seconds"] = round(elapsed, 2)
+    record["survival"] = {
+        attack: round(fraction, 4)
+        for attack, fraction in report.survival().items()
+    }
+    return record
+
+
+def gate_failures(records: Dict[str, Dict[str, Any]]) -> List[str]:
+    failures: List[str] = []
+    for name, record in records.items():
+        if not record["all_equivalent"]:
+            broken = [
+                o["attack"]
+                for o in record["outcomes"]
+                if not o["equivalent"]
+            ]
+            failures.append(
+                f"{name}: attacked copies not equivalent: {broken}"
+            )
+        for outcome in record["outcomes"]:
+            if outcome["attack"] in ("rename", "remap") and (
+                outcome["bits_surviving"] < outcome["bits_total"]
+                or not outcome["value_recovered"]
+            ):
+                failures.append(
+                    f"{name}: {outcome['attack']} attack dislodged the "
+                    f"fingerprint ({outcome['bits_surviving']}/"
+                    f"{outcome['bits_total']} bits) — structural "
+                    "extraction must survive pure renaming"
+                )
+    return failures
+
+
+def render_html(records: Dict[str, Dict[str, Any]]) -> str:
+    """Self-contained HTML robustness matrix (designs x attacks)."""
+    head = "".join(f"<th>{html.escape(a)}</th>" for a in ATTACK_NAMES)
+    rows = []
+    for name, record in records.items():
+        cells = []
+        by_attack = {o["attack"]: o for o in record["outcomes"]}
+        for attack in ATTACK_NAMES:
+            outcome = by_attack.get(attack)
+            if outcome is None:
+                reason = record["skipped"].get(attack, "not run")
+                cells.append(f'<td class="skip">{html.escape(reason)}</td>')
+                continue
+            frac = record["survival"][attack]
+            cls = "dead" if frac < 0.5 else ("hit" if frac < 1.0 else "ok")
+            equiv = "" if outcome["equivalent"] else " NOT-EQUIV"
+            cells.append(
+                f'<td class="{cls}">{outcome["bits_surviving"]:.1f}/'
+                f'{outcome["bits_total"]:.1f} bits ({frac:.0%})'
+                f"<br><small>area {outcome['area_cost']:+.3f} · "
+                f"delay {outcome['delay_cost']:+.3f}{equiv}</small></td>"
+            )
+        rows.append(
+            f"<tr><th>{html.escape(name)}<br><small>"
+            f"{record['slots_total']} slots · "
+            f"{record['bits_total']:.1f} bits</small></th>"
+            + "".join(cells)
+            + "</tr>"
+        )
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8"><title>Attack robustness matrix</title>
+<style>
+body {{ font-family: system-ui, sans-serif; margin: 2em; }}
+table {{ border-collapse: collapse; }}
+th, td {{ border: 1px solid #999; padding: 0.5em 0.8em; text-align: center; }}
+td.ok {{ background: #e7f6e7; }}
+td.hit {{ background: #fff4d6; }}
+td.dead {{ background: #fbdddd; }}
+td.skip {{ background: #eee; color: #666; }}
+small {{ color: #555; }}
+</style></head><body>
+<h1>Fingerprint bits surviving each attack</h1>
+<p>Every attacked copy is verified functionally equivalent to the victim
+copy through the verification ladder before it is scored.</p>
+<table><tr><th>design</th>{head}</tr>{"".join(rows)}</table>
+</body></html>
+"""
+
+
+def build_record(smoke: bool, seed: int) -> Dict[str, Any]:
+    designs = SMOKE_DESIGNS if smoke else FULL_DESIGNS
+    config = suite_config(smoke, seed)
+    records: Dict[str, Dict[str, Any]] = {}
+    for name in designs:
+        print(f"-- {name}")
+        records[name] = run_design(name, config)
+        survival = records[name]["survival"]
+        print(
+            "   "
+            + "  ".join(f"{a}={survival[a]:.0%}" for a in sorted(survival))
+            + f"  ({records[name]['suite_seconds']}s)"
+        )
+
+    print(f"-- determinism re-run: {DETERMINISM_DESIGN}")
+    rerun = run_design(DETERMINISM_DESIGN, config)
+    deterministic = _strip_timing(rerun) == _strip_timing(
+        records[DETERMINISM_DESIGN]
+    )
+
+    failures = gate_failures(records)
+    if not deterministic:
+        failures.append(
+            f"{DETERMINISM_DESIGN}: robustness matrix not reproducible "
+            "under the same seed"
+        )
+    return {
+        "bench": "attacks",
+        "smoke": smoke,
+        "seed": seed,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "attacks": list(ATTACK_NAMES),
+        "designs": {name: records[name] for name in designs},
+        "matrix": {
+            name: records[name]["survival"] for name in designs
+        },
+        "gate": {
+            "all_equivalent": all(
+                r["all_equivalent"] for r in records.values()
+            ),
+            "deterministic": deterministic,
+            "passed": not failures,
+            "failures": failures,
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized matrix (c17 + k2)")
+    parser.add_argument("--seed", type=int, default=2015)
+    args = parser.parse_args(argv)
+
+    record = build_record(args.smoke, args.seed)
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    with open(HTML_PATH, "w") as handle:
+        handle.write(render_html(record["designs"]))
+    gate = record["gate"]
+    print(f"wrote {RECORD_PATH}")
+    print(f"wrote {HTML_PATH}")
+    if not gate["passed"]:
+        for failure in gate["failures"]:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("gate passed (all equivalent, renaming survived, deterministic)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,9 @@
 # `pip install ruff pytest-cov` locally to enable both.
 #
 # COV_FLOOR (default 90) is the measured tier-1 line-coverage floor for
-# src/repro; the gate fails on regression below it.
+# src/repro — the whole package, including the adversarial attack suite
+# under src/repro/attack (exercised by the tier-1 `attack`-marked
+# tests); the gate fails on regression below it.
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -136,6 +136,44 @@ def verify(
         return run_ladder(left, right, config=opts.ladder)
 
 
+def attack(
+    design: Design,
+    attacks=None,
+    opts: Optional[FlowOptions] = None,
+    *,
+    attack_config=None,
+    **overrides: object,
+):
+    """Run the adversarial attack suite against a fingerprinted design.
+
+    Builds the defender world (catalog, buyer registry, victim copy) from
+    ``design``, runs each attack engine in ``attacks`` (default: the full
+    roster — see :data:`repro.attack.ATTACK_NAMES`), verifies every
+    attacked copy functionally equivalent through the ladder, and scores
+    how many fingerprint bits survive.  ``attack_config`` is an
+    :class:`repro.attack.AttackConfig`; seed/ladder/finder settings come
+    from ``opts`` unless the config overrides them.  Returns an
+    :class:`repro.attack.AttackSuiteReport`.
+    """
+    from .attack import AttackConfig, run_attack_suite
+
+    opts = _resolve(opts, overrides)
+    if attack_config is None:
+        attack_config = AttackConfig(seed=opts.seed)
+    with _telemetry_scope(opts):
+        if isinstance(design, str) or isinstance(design, SopNetwork):
+            from .flows.pipeline import _to_circuit
+
+            design = _to_circuit(design, opts.map_style)
+        return run_attack_suite(
+            design,
+            attacks=attacks,
+            config=attack_config,
+            ladder=opts.ladder,
+            finder=opts.resolved_finder(),
+        )
+
+
 def load_circuit(path: str, map_style: str = "aoi") -> Circuit:
     """Read a design file by extension.
 
@@ -292,6 +330,7 @@ __all__ = [
     "FlowResult",
     "LadderConfig",
     "LadderResult",
+    "attack",
     "batch",
     "campaign",
     "campaign_report",

@@ -1,0 +1,78 @@
+"""Attack interface: what an adversary produces and what the harness scores.
+
+An :class:`Attack` consumes an :class:`AttackContext` (the victim's
+fingerprinted copy plus whatever extra material the threat model grants —
+e.g. sibling copies for collusion) and returns an :class:`AttackedCopy`.
+The attacked circuit is the adversary's output; the side-channel fields
+(``inverse_rename``, ``remapped``) are *ground truth the harness uses only
+to verify functional equivalence*, never for extraction — extraction runs
+the defender-realistic path (name-based or structural, depending on
+whether the attack renamed nets).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..fingerprint.locations import LocationCatalog
+from ..fingerprint.signature import BuyerRecord, BuyerRegistry
+from ..netlist.circuit import Circuit
+from ..seeds import derive_seed
+from .config import AttackConfig
+
+
+@dataclass
+class AttackContext:
+    """Everything an attack run may draw on.
+
+    ``base`` is the golden (strashed) design; ``victim_copy`` the
+    fingerprinted copy the adversary bought; ``colluder_records`` the
+    registered buyers whose copies a collusion attack may additionally
+    obtain (the victim is always ``colluder_records[0]``).
+    """
+
+    base: Circuit
+    catalog: LocationCatalog
+    registry: BuyerRegistry
+    victim: BuyerRecord
+    victim_copy: Circuit
+    colluder_records: List[BuyerRecord]
+    config: AttackConfig
+
+    def rng_for(self, attack_name: str) -> random.Random:
+        """Deterministic per-attack RNG stream."""
+        return random.Random(derive_seed(self.config.seed, "attack", attack_name))
+
+
+@dataclass
+class AttackedCopy:
+    """One attack's output plus the bookkeeping the harness needs.
+
+    ``renamed`` routes extraction through the structural matcher;
+    ``remapped`` says the port declaration *order* was permuted, which the
+    harness undoes before matching (ports are physically pinned — the IP
+    owner reads pad correspondence off the package, see
+    :mod:`repro.fingerprint.structural`).  ``inverse_rename`` maps
+    attacked net names back to the pre-attack names; it exists because the
+    adversary trivially knows it, and the harness uses it only to restore
+    the copy for the equivalence check.
+    """
+
+    circuit: Circuit
+    edits: int = 0
+    details: Dict[str, object] = field(default_factory=dict)
+    renamed: bool = False
+    remapped: bool = False
+    inverse_rename: Optional[Dict[str, str]] = None
+
+
+class Attack:
+    """Base class: produce one attacked copy from the context."""
+
+    #: Stable identifier used in reports, CLI selection and benchmarks.
+    name = "attack"
+
+    def run(self, ctx: AttackContext) -> AttackedCopy:
+        raise NotImplementedError

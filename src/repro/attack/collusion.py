@@ -1,0 +1,97 @@
+"""Multi-copy collusion attack over :mod:`repro.fingerprint.collusion`.
+
+The adversary obtains ``config.colluders`` fingerprinted copies, renames
+each (renaming is free and models independent layout databases), diffs
+them under the marking assumption — slots where the copies differ are
+visible, slots where they agree are indistinguishable from function — and
+forges a pirate copy by picking one observed configuration per visible
+slot (:func:`repro.fingerprint.collusion.collude`).
+
+The comparison is *name-agnostic*: observed configurations are read out of
+the renamed copies by structural matching
+(:func:`~repro.fingerprint.structural.extract_structural`), never by net
+name.  Under the marking assumption this equals the attacker's pairwise
+structural diff of the copies — differing slots surface identically either
+way — while reusing one matcher instead of maintaining a second diff
+implementation.
+
+The forged assignment is materialized through the deterministic embedder
+(equivalent to editing copy 0's visible slots in place) and then renamed —
+a pirate who colludes certainly also renames.  Every variant preserves the
+golden function, so the pirate remains functionally equivalent to every
+colluder copy; the harness verifies that through the ladder like any other
+attack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..fingerprint.collusion import collude
+from ..fingerprint.embed import embed
+from ..fingerprint.locations import LocationCatalog
+from ..fingerprint.structural import extract_structural
+from ..netlist.circuit import Circuit
+from .base import Attack, AttackContext, AttackedCopy
+from .rewrite import _rename_all
+
+
+def observed_assignments(
+    copies: Sequence[Circuit],
+    golden: Circuit,
+    catalog: LocationCatalog,
+) -> List[Dict[str, int]]:
+    """Read each copy's slot configuration without trusting net names.
+
+    Structural extraction per copy; tampered slots read as configuration 0
+    (exactly what a diff-based attacker would treat as "unmodified").
+    """
+    return [
+        extract_structural(copy, golden, catalog).assignment for copy in copies
+    ]
+
+
+class CollusionAttack(Attack):
+    """Compare colluder copies and forge a pirate from the visible slots."""
+
+    name = "collusion"
+
+    def run(self, ctx: AttackContext) -> AttackedCopy:
+        rng = ctx.rng_for(self.name)
+        copies: List[Circuit] = []
+        for index, record in enumerate(ctx.colluder_records):
+            if index == 0:
+                copy = ctx.victim_copy
+            else:
+                copy = embed(
+                    ctx.base,
+                    ctx.catalog,
+                    record.assignment,
+                    name=f"{ctx.base.name}_{record.buyer}",
+                ).circuit
+            copies.append(_rename_all(copy, rng).circuit)
+        observed = observed_assignments(copies, ctx.base, ctx.catalog)
+        outcome = collude(
+            observed,
+            strategy=ctx.config.collusion_strategy,
+            seed=int(rng.randrange(1 << 30)),
+        )
+        pirate = embed(
+            ctx.base,
+            ctx.catalog,
+            outcome.pirate_assignment,
+            name=f"{ctx.base.name}_pirate",
+        ).circuit
+        attacked = _rename_all(pirate, rng)
+        attacked.edits = len(outcome.visible_slots)
+        attacked.details.update(
+            {
+                "colluders": [r.buyer for r in ctx.colluder_records],
+                "strategy": outcome.strategy,
+                "visible_slots": len(outcome.visible_slots),
+            }
+        )
+        return attacked
+
+
+__all__ = ["CollusionAttack", "observed_assignments"]

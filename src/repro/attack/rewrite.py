@@ -1,0 +1,195 @@
+"""Structural rewriting, sweeping, renaming and pin-remapping attacks.
+
+These are the cheap end of the adversary spectrum: transformations any
+EDA flow performs for free, applied in the hope of dislodging the
+fingerprint without the SAT machinery of the resubstitution engine.
+
+* :class:`SweepAttack` — the standard cleanup pipeline (constant
+  propagation, buffer sweep, DCE, strashing).  Equivalence-preserving by
+  construction; fingerprint variants are live logic, so this mostly
+  measures that naive tidying does *not* remove them.
+* :class:`RewriteAttack` — DeMorgan-dualizes a random fraction of
+  AND/OR/NAND/NOR gates (``AND(a..) -> NOR(a'..)``), inserting fresh
+  inverters.  Net functions are untouched but local gate structure is
+  destroyed, which defeats per-gate variant recognition at the rewritten
+  slots — at a measurable area cost.
+* :class:`RenameAttack` — rewrites every net name (ports included).
+  Free for the attacker; extraction must fall back to structural
+  matching, which this attack exists to exercise.
+* :class:`PinRemapAttack` — renaming plus a random permutation of the
+  port *declaration order*.  Ports remain physically pinned, so the
+  defender recovers the correspondence from the package and the harness
+  restores pin order before structural extraction.
+* :class:`ResubAttack` — wraps :class:`~repro.attack.resub.ResubstitutionEngine`
+  over a clone of the victim copy (names preserved: removal is the goal,
+  hiding is what the renaming attacks measure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..mutate import fresh_net_name
+from ..netlist.circuit import Circuit
+from ..netlist.transform import cleanup, merge_duplicate_gates, rename_nets
+from .base import Attack, AttackContext, AttackedCopy
+from .resub import ResubstitutionEngine
+
+#: DeMorgan duals: the kind computing the same function over complemented
+#: inputs (AND(a, b) == NOR(a', b'), OR(a, b) == NAND(a', b'), ...).
+DEMORGAN_DUALS = {
+    "AND": "NOR",
+    "OR": "NAND",
+    "NAND": "OR",
+    "NOR": "AND",
+}
+
+
+def reorder_ports(
+    circuit: Circuit,
+    input_order: Sequence[str],
+    output_order: Sequence[str],
+) -> Circuit:
+    """Rebuild ``circuit`` with ports declared in the given order."""
+    if sorted(input_order) != sorted(circuit.inputs):
+        raise ValueError("input_order is not a permutation of the inputs")
+    if sorted(output_order) != sorted(circuit.outputs):
+        raise ValueError("output_order is not a permutation of the outputs")
+    out = Circuit(circuit.name, circuit.library)
+    out.add_inputs(input_order)
+    for gate in circuit.topological_order():
+        out.add_gate(gate.name, gate.kind, list(gate.inputs), cell=gate.cell)
+    out.add_outputs(output_order)
+    return out
+
+
+class ResubAttack(Attack):
+    """Simulation-guided resubstitution against the victim copy."""
+
+    name = "resub"
+
+    def run(self, ctx: AttackContext) -> AttackedCopy:
+        circuit = ctx.victim_copy.clone(f"{ctx.victim_copy.name}_resub")
+        stats = ResubstitutionEngine(circuit, ctx.config).run()
+        return AttackedCopy(
+            circuit=circuit, edits=stats.edits, details=stats.as_dict()
+        )
+
+
+class SweepAttack(Attack):
+    """Constant propagation + buffer sweep + DCE + strashing."""
+
+    name = "sweep"
+
+    def run(self, ctx: AttackContext) -> AttackedCopy:
+        circuit = ctx.victim_copy.clone(f"{ctx.victim_copy.name}_sweep")
+        totals = cleanup(circuit)
+        merged = merge_duplicate_gates(circuit)
+        details: Dict[str, object] = dict(totals)
+        details["merged"] = merged
+        return AttackedCopy(
+            circuit=circuit,
+            edits=sum(totals.values()) + merged,
+            details=details,
+        )
+
+
+class RewriteAttack(Attack):
+    """DeMorgan-dualize a random fraction of the AND/OR-family gates."""
+
+    name = "rewrite"
+
+    def run(self, ctx: AttackContext) -> AttackedCopy:
+        circuit = ctx.victim_copy.clone(f"{ctx.victim_copy.name}_rewrite")
+        rng = ctx.rng_for(self.name)
+        candidates = sorted(
+            g.name for g in circuit.gates if g.kind in DEMORGAN_DUALS
+        )
+        count = max(1, int(len(candidates) * ctx.config.rewrite_fraction))
+        chosen = rng.sample(candidates, min(count, len(candidates)))
+        inverter_of: Dict[str, str] = {}
+        rewritten = 0
+        for name in sorted(chosen):
+            gate = circuit.gate(name)
+            dual = DEMORGAN_DUALS[gate.kind]
+            if circuit.library.try_find(dual, gate.n_inputs) is None:
+                continue
+            new_inputs: List[str] = []
+            for source in gate.inputs:
+                inv = inverter_of.get(source)
+                if inv is None:
+                    inv = fresh_net_name(circuit, "dm")
+                    circuit.add_gate(inv, "INV", [source])
+                    inverter_of[source] = inv
+                new_inputs.append(inv)
+            circuit.replace_gate(name, dual, new_inputs)
+            rewritten += 1
+        merged = merge_duplicate_gates(circuit)
+        return AttackedCopy(
+            circuit=circuit,
+            edits=rewritten,
+            details={
+                "rewritten": rewritten,
+                "inverters_added": len(inverter_of),
+                "merged": merged,
+            },
+        )
+
+
+def _rename_all(circuit: Circuit, rng) -> AttackedCopy:
+    """Rename every net (ports included) to an opaque shuffled namespace."""
+    nets = list(circuit.inputs) + circuit.gate_names()
+    order = list(range(len(nets)))
+    rng.shuffle(order)
+    mapping = {net: f"w{order[i]}" for i, net in enumerate(nets)}
+    renamed = rename_nets(circuit, mapping, name=f"{circuit.name}_renamed")
+    inverse = {new: old for old, new in mapping.items()}
+    return AttackedCopy(
+        circuit=renamed,
+        edits=len(mapping),
+        details={"nets_renamed": len(mapping)},
+        renamed=True,
+        inverse_rename=inverse,
+    )
+
+
+class RenameAttack(Attack):
+    """Wholesale net renaming (structure untouched)."""
+
+    name = "rename"
+
+    def run(self, ctx: AttackContext) -> AttackedCopy:
+        return _rename_all(ctx.victim_copy, ctx.rng_for(self.name))
+
+
+class PinRemapAttack(Attack):
+    """Renaming plus a random permutation of the port declaration order."""
+
+    name = "remap"
+
+    def run(self, ctx: AttackContext) -> AttackedCopy:
+        rng = ctx.rng_for(self.name)
+        victim = ctx.victim_copy
+        input_order = list(victim.inputs)
+        output_order = list(victim.outputs)
+        rng.shuffle(input_order)
+        rng.shuffle(output_order)
+        permuted = reorder_ports(victim, input_order, output_order)
+        attacked = _rename_all(permuted, rng)
+        attacked.remapped = True
+        attacked.details["inputs_permuted"] = input_order != list(victim.inputs)
+        attacked.details["outputs_permuted"] = (
+            output_order != list(victim.outputs)
+        )
+        return attacked
+
+
+__all__ = [
+    "DEMORGAN_DUALS",
+    "PinRemapAttack",
+    "RenameAttack",
+    "ResubAttack",
+    "RewriteAttack",
+    "SweepAttack",
+    "reorder_ports",
+]

@@ -405,6 +405,45 @@ def _cmd_inject(args: argparse.Namespace) -> CommandResult:
     return (0 if report.clean else 1), result
 
 
+def _cmd_attack(args: argparse.Namespace) -> CommandResult:
+    from .attack import ATTACK_NAMES, AttackConfig, run_attack_suite
+
+    design = load_design(args.design)
+    names = (
+        [n.strip() for n in args.attacks.split(",") if n.strip()]
+        if args.attacks
+        else None
+    )
+    config = AttackConfig(
+        seed=args.seed,
+        n_vectors=args.vectors,
+        max_passes=args.passes,
+        rewrite_fraction=args.rewrite_fraction,
+        colluders=args.colluders,
+        collusion_strategy=args.strategy,
+    )
+    report = run_attack_suite(
+        design, attacks=names, config=config, ladder=_ladder_config(args)
+    )
+    _say(
+        args,
+        f"{report.design}: {report.slots_total} slots, "
+        f"{report.bits_total:.1f} fingerprint bits",
+    )
+    for outcome in report.outcomes:
+        verdict = "equivalent" if outcome.equivalent else "NOT EQUIVALENT"
+        _say(
+            args,
+            f"  {outcome.attack:10s} {verdict:15s} "
+            f"bits {outcome.bits_surviving:6.1f}/{outcome.bits_total:.1f}  "
+            f"area {outcome.area_cost:+.3f}  delay {outcome.delay_cost:+.3f}  "
+            f"edits {outcome.edits}",
+        )
+    for name, reason in report.skipped.items():
+        _say(args, f"  {name:10s} skipped ({reason})")
+    return (0 if report.all_equivalent else 1), report.as_dict()
+
+
 def _cmd_campaign(args: argparse.Namespace) -> CommandResult:
     from .campaign import (
         CampaignOptions,
@@ -670,6 +709,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--text", action="store_true",
                    help="also corrupt the serialized form and re-parse it")
     p.set_defaults(func=_cmd_inject)
+
+    p = sub.add_parser(
+        "attack",
+        help="run the adversarial attack suite against a fingerprinted design",
+        description="Embed a victim fingerprint in the design, run each "
+        "attack engine (resubstitution, rewriting, sweeping, renaming, "
+        "pin remapping, collusion), verify every attacked copy stays "
+        "functionally equivalent through the verification ladder, and "
+        "report how many fingerprint bits survive each attack versus its "
+        "area/delay cost.  Exit status 0 means every attacked copy was "
+        "equivalent to the victim copy.",
+    )
+    p.add_argument("design")
+    p.add_argument(
+        "--attacks", default=None, metavar="A,B,...",
+        help="comma-separated attack names (default: the full roster; "
+        "see repro.attack.ATTACK_NAMES)",
+    )
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument("--vectors", type=int, default=256, metavar="N",
+                   help="packed simulation vectors per resub pass "
+                   "(multiple of 64; default: 256)")
+    p.add_argument("--passes", type=int, default=8, metavar="N",
+                   help="max resubstitution passes (default: 8)")
+    p.add_argument("--rewrite-fraction", type=float, default=0.4,
+                   metavar="F", help="fraction of AND/OR-family gates the "
+                   "rewrite attack DeMorgan-dualizes (default: 0.4)")
+    p.add_argument("--colluders", type=int, default=3, metavar="N",
+                   help="copies the collusion attack compares (default: 3)")
+    p.add_argument("--strategy", default="strip",
+                   choices=["majority", "random", "strip"],
+                   help="collusion forging strategy (default: strip)")
+    _add_ladder_options(p)
+    p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser(
         "campaign",

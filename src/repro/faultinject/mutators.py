@@ -20,19 +20,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import FaultInjectionError
+from ..mutate import KIND_SWAPS, fresh_net_name, pick_gate
 from ..netlist.circuit import Circuit, Gate
 
-#: Gate-kind pairs that stay arity-compatible under swapping.
-_KIND_SWAPS = {
-    "AND": "NAND",
-    "NAND": "AND",
-    "OR": "NOR",
-    "NOR": "OR",
-    "XOR": "XNOR",
-    "XNOR": "XOR",
-    "INV": "BUF",
-    "BUF": "INV",
-}
+#: Gate-kind pairs that stay arity-compatible under swapping (shared with
+#: the attack engines through :mod:`repro.mutate`).
+_KIND_SWAPS = KIND_SWAPS
 
 
 @dataclass(frozen=True)
@@ -68,16 +61,14 @@ class Mutator:
 
     @staticmethod
     def _pick_gate(circuit: Circuit, rng: random.Random, kinds=None) -> Gate:
-        candidates = [
-            g for g in circuit.gates if kinds is None or g.kind in kinds
-        ]
-        if not candidates:
+        gate = pick_gate(circuit, rng, kinds)
+        if gate is None:
             raise FaultInjectionError(
                 "no gate eligible for this mutator",
                 design=circuit.name,
                 detail={"mutator_kinds": sorted(kinds) if kinds else None},
             )
-        return candidates[rng.randrange(len(candidates))]
+        return gate
 
 
 class StuckAtNet(Mutator):
@@ -119,11 +110,7 @@ class DanglingWire(Mutator):
 
     def apply(self, circuit: Circuit, rng: random.Random) -> InjectedFault:
         gate = self._pick_gate(circuit, rng, kinds=None)
-        ghost = "__ghost"
-        index = 0
-        while circuit.has_net(f"{ghost}{index}"):
-            index += 1
-        ghost = f"{ghost}{index}"
+        ghost = fresh_net_name(circuit, "__ghost")
         position = rng.randrange(len(gate.inputs)) if gate.inputs else 0
         if not gate.inputs:
             # Constant gates have no inputs to dangle; dangle a PO instead.

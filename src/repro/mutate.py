@@ -1,0 +1,67 @@
+"""Shared netlist-mutation helpers.
+
+Both the fault-injection campaign (:mod:`repro.faultinject`) and the
+adversarial attack engines (:mod:`repro.attack`) mutate netlists under a
+seeded :class:`random.Random`.  They must stay *byte-compatible*: a
+campaign replayed against the attack suite (or vice versa) has to pick
+the same gates and mint the same fresh net names for the same seed, so
+the selection and naming primitives live here and both packages import
+them instead of growing private copies.
+
+Byte-compatibility contract (do not change without bumping every
+recorded campaign):
+
+* :func:`pick_gate` consumes exactly one ``rng.randrange(len(candidates))``
+  call, with candidates in :attr:`Circuit.gates` order (insertion order).
+* :func:`fresh_net_name` probes ``f"{stem}{index}"`` for ``index`` = 0, 1,
+  ... and returns the first name not present in the circuit — the
+  historical ``__ghost0`` sequence of the dangling-wire mutator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from .netlist.circuit import Circuit, Gate
+
+#: Gate-kind pairs that stay arity-compatible under swapping.
+KIND_SWAPS = {
+    "AND": "NAND",
+    "NAND": "AND",
+    "OR": "NOR",
+    "NOR": "OR",
+    "XOR": "XNOR",
+    "XNOR": "XOR",
+    "INV": "BUF",
+    "BUF": "INV",
+}
+
+
+def pick_gate(
+    circuit: Circuit,
+    rng: random.Random,
+    kinds: Optional[Iterable[str]] = None,
+) -> Optional[Gate]:
+    """Pick one gate uniformly at random, optionally filtered by kind.
+
+    Returns ``None`` when no gate matches (without consuming RNG state),
+    so callers choose their own error type.
+    """
+    if kinds is not None and not isinstance(kinds, (set, frozenset)):
+        kinds = set(kinds)
+    candidates = [g for g in circuit.gates if kinds is None or g.kind in kinds]
+    if not candidates:
+        return None
+    return candidates[rng.randrange(len(candidates))]
+
+
+def fresh_net_name(circuit: Circuit, stem: str = "__ghost") -> str:
+    """First ``f"{stem}{index}"`` (index 0, 1, ...) unused in ``circuit``."""
+    index = 0
+    while circuit.has_net(f"{stem}{index}"):
+        index += 1
+    return f"{stem}{index}"
+
+
+__all__ = ["KIND_SWAPS", "fresh_net_name", "pick_gate"]

@@ -125,3 +125,73 @@ class TestEndToEndPiracy:
         no_false, missed = colluders_traced(report, colluders)
         assert no_false
         assert set(report.accused) & set(colluders)
+
+
+class TestNameAgnosticCollusion:
+    """Satellite of ISSUE 10: collusion comparison must be name-agnostic.
+
+    Colluders keep independent (renamed) layout databases; the pairwise
+    comparison and the owner's tracing must both work without trusting a
+    single net name.
+    """
+
+    @pytest.fixture(scope="class")
+    def strashed_world(self):
+        from repro.netlist.transform import merge_duplicate_gates
+
+        base = build_benchmark("C432")
+        merge_duplicate_gates(base)
+        catalog = find_locations(base)
+        registry = BuyerRegistry(catalog, seed=7)
+        for i in range(8):
+            registry.register(f"buyer{i:02d}")
+        return base, catalog, registry
+
+    @staticmethod
+    def _renamed_copy(base, catalog, assignment, seed):
+        import random as _random
+
+        from repro.netlist.transform import rename_nets
+
+        copy = embed(base, catalog, assignment, name="copy").circuit
+        rng = _random.Random(seed)
+        nets = list(copy.inputs) + copy.gate_names()
+        order = list(range(len(nets)))
+        rng.shuffle(order)
+        return rename_nets(
+            copy,
+            {net: f"n{order[i]}" for i, net in enumerate(nets)},
+            name="renamed",
+        )
+
+    def test_observed_assignments_match_registry(self, strashed_world):
+        from repro.attack import observed_assignments
+
+        base, catalog, registry = strashed_world
+        records = [registry.record(f"buyer{i:02d}") for i in (1, 3)]
+        copies = [
+            self._renamed_copy(base, catalog, r.assignment, seed=40 + i)
+            for i, r in enumerate(records)
+        ]
+        observed = observed_assignments(copies, base, catalog)
+        assert observed == [r.assignment for r in records]
+
+    def test_renamed_colluders_still_traced(self, strashed_world):
+        from repro.attack import observed_assignments
+
+        base, catalog, registry = strashed_world
+        colluders = ["buyer02", "buyer05", "buyer06"]
+        copies = [
+            self._renamed_copy(
+                base, catalog, registry.record(b).assignment, seed=50 + i
+            )
+            for i, b in enumerate(colluders)
+        ]
+        observed = observed_assignments(copies, base, catalog)
+        outcome = collude(observed, strategy="majority")
+        pirate = embed(base, catalog, outcome.pirate_assignment, name="pirate")
+        recovered = extract(pirate.circuit, base, catalog)
+        report = trace(registry, recovered.assignment)
+        no_false, _missed = colluders_traced(report, colluders)
+        assert no_false
+        assert set(report.accused) & set(colluders)

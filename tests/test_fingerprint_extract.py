@@ -101,3 +101,78 @@ class TestTamperDetection:
         suspect.remove_gate(victim)
         result = extract(suspect, base, catalog)
         assert victim in result.tampered
+
+
+class TestRenamedSuspects:
+    """Satellite of ISSUE 10: extraction must survive pure renaming.
+
+    A pirate who renames every net (free in any layout database) defeats
+    the name-based reader; the structural matcher must still recover the
+    fingerprint bit-for-bit, and the name-based reader must *visibly*
+    fail (tampered slots), never silently misread.
+    """
+
+    @pytest.fixture(scope="class")
+    def strashed(self):
+        from repro.netlist.transform import merge_duplicate_gates
+
+        base = build_benchmark("C432")
+        merge_duplicate_gates(base)  # structural matching needs twin-free
+        catalog = find_locations(base)
+        codec = FingerprintCodec(catalog)
+        return base, catalog, codec
+
+    @staticmethod
+    def _rename(circuit, seed):
+        from repro.netlist.transform import rename_nets
+
+        rng = random.Random(seed)
+        nets = list(circuit.inputs) + circuit.gate_names()
+        order = list(range(len(nets)))
+        rng.shuffle(order)
+        mapping = {net: f"n{order[i]}" for i, net in enumerate(nets)}
+        return rename_nets(circuit, mapping, name="renamed"), mapping
+
+    def test_structural_extraction_survives_renaming(self, strashed):
+        from repro.fingerprint import extract_structural
+
+        base, catalog, codec = strashed
+        value = random.Random(5).randrange(codec.combinations)
+        copy = embed(base, catalog, codec.encode(value))
+        renamed, _ = self._rename(copy.circuit, seed=11)
+        result = extract_structural(renamed, base, catalog)
+        assert result.clean
+        assert codec.decode(result.assignment) == value
+
+    def test_name_based_reader_fails_loudly_on_renamed(self, strashed):
+        base, catalog, codec = strashed
+        copy = embed(base, catalog, full_assignment(base, catalog))
+        renamed, _ = self._rename(copy.circuit, seed=13)
+        result = extract(renamed, base, catalog)
+        assert not result.clean  # tampering reported, not misread
+
+    def test_survives_renaming_plus_pin_remap(self, strashed):
+        """Port order permuted too; the owner restores pin order from the
+        package (ports are physically pinned) and matches structurally."""
+        from repro.attack import reorder_ports
+        from repro.fingerprint import extract_structural
+
+        base, catalog, codec = strashed
+        value = random.Random(7).randrange(codec.combinations)
+        copy = embed(base, catalog, codec.encode(value))
+        rng = random.Random(17)
+        in_order = list(copy.circuit.inputs)
+        out_order = list(copy.circuit.outputs)
+        rng.shuffle(in_order)
+        rng.shuffle(out_order)
+        permuted = reorder_ports(copy.circuit, in_order, out_order)
+        renamed, mapping = self._rename(permuted, seed=19)
+        # Restore pin order using the known pad correspondence.
+        restored = reorder_ports(
+            renamed,
+            [mapping[n] for n in base.inputs],
+            [mapping[n] for n in base.outputs],
+        )
+        result = extract_structural(restored, base, catalog)
+        assert result.clean
+        assert codec.decode(result.assignment) == value
